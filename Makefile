@@ -1,0 +1,48 @@
+# Convenience targets for the reproduction. Everything is stdlib-only
+# Go; no external dependencies.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerates every paper table and figure plus the validation,
+# ablation and extension studies into results/.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -run all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capacity
+	$(GO) run ./examples/burstiness
+	$(GO) run ./examples/optical
+	$(GO) run ./examples/operations
+	$(GO) run ./examples/sizing
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,428 @@
+package xbar_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xbar/internal/admission"
+	"xbar/internal/clos"
+	"xbar/internal/core"
+	"xbar/internal/hotspot"
+	"xbar/internal/inputq"
+	"xbar/internal/ipp"
+	"xbar/internal/link"
+	"xbar/internal/minnet"
+	"xbar/internal/network"
+	"xbar/internal/overflow"
+	"xbar/internal/retrial"
+	"xbar/internal/sim"
+	"xbar/internal/slotted"
+	"xbar/internal/statespace"
+	"xbar/internal/traffic"
+	"xbar/internal/transient"
+	"xbar/internal/wdm"
+	"xbar/internal/workload"
+)
+
+// Each benchmark regenerates one published table or figure (or one of
+// the reproduction's own ablations); `go test -bench .` is therefore
+// the full evaluation harness. The sink variables keep the compiler
+// from eliding the work.
+
+var (
+	sinkSeries []workload.Series
+	sinkRows   []workload.Table2Row
+	sinkT1     []workload.Table1Row
+	sinkRes    *core.Result
+	sinkF      float64
+)
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := workload.Figure1(workload.FigureNs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries = s
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := workload.Figure2(workload.FigureNs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries = s
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := workload.Figure3(workload.FigureNs())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries = s
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := workload.Figure4(workload.Figure4Ns())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkSeries = s
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkT1 = workload.Table1(workload.Figure4Ns())
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	// One parameter set per sub-benchmark; each row includes the
+	// central-difference bursty gradient (two extra full solves).
+	for _, set := range workload.Table2Sets() {
+		set := set
+		b.Run(fmt.Sprintf("set%d", set.Set), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := workload.Table2(set, workload.Table2Ns())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkRows = rows
+			}
+		})
+	}
+}
+
+// BenchmarkSimValidation is the "compare with simulation" experiment
+// at one Figure 1 operating point, sized for benchmarking rather than
+// tight confidence intervals.
+func BenchmarkSimValidation(b *testing.B) {
+	sw := core.NewSwitch(16, 16,
+		core.AggregateClass{Name: "p", A: 1, AlphaTilde: 0.0024, Mu: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Switch: sw, Seed: uint64(i + 1), Warmup: 500, Horizon: 10000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = res.Classes[0].CallBlocking.Mean
+	}
+}
+
+// BenchmarkAlg1VsAlg2 is the runtime half of Ablation A: the scaled
+// convolution recursion against the mean-value recursion across
+// system sizes (accuracy is covered by tests).
+func BenchmarkAlg1VsAlg2(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		sw := core.NewSwitch(n, n,
+			core.AggregateClass{Name: "p", A: 1, AlphaTilde: 0.0012, Mu: 1},
+			core.AggregateClass{Name: "b", A: 1, AlphaTilde: 0.0012, BetaTilde: 0.0012, Mu: 1},
+		)
+		b.Run(fmt.Sprintf("alg1/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(sw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkRes = res
+			}
+		})
+		b.Run(fmt.Sprintf("alg2/N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.SolveMVA(sw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkRes = res
+			}
+		})
+	}
+	// The exponential-cost ground-truth evaluators, at a size they can
+	// still handle, for scale.
+	small := core.NewSwitch(12, 12,
+		core.AggregateClass{Name: "p", A: 1, AlphaTilde: 0.0012, Mu: 1},
+		core.AggregateClass{Name: "b", A: 1, AlphaTilde: 0.0012, BetaTilde: 0.0012, Mu: 1},
+	)
+	b.Run("direct/N=12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.SolveDirect(small)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkRes = res
+		}
+	})
+	b.Run("convolution/N=12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.SolveConvolution(small)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkRes = res
+		}
+	})
+}
+
+// BenchmarkBaselines is Ablation B: the pooled link, the slotted
+// crossbar and the MIN against the asynchronous crossbar.
+func BenchmarkBaselines(b *testing.B) {
+	b.Run("link", func(b *testing.B) {
+		l := link.Link{C: 32, Classes: []link.Class{{A: 1, Alpha: 9.6, Mu: 1}}}
+		for i := 0; i < b.N; i++ {
+			res, err := link.Solve(l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res.Blocking[0]
+		}
+	})
+	b.Run("crossbar", func(b *testing.B) {
+		l := link.Link{C: 32, Classes: []link.Class{{A: 1, Alpha: 9.6, Mu: 1}}}
+		sw := l.CrossbarEquivalent()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Solve(sw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res.Blocking[0]
+		}
+	})
+	b.Run("slotted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := slotted.Simulate(16, 16, 0.9, 2000, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res.PerOutput.Mean
+		}
+	})
+	b.Run("minnet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := minnet.Simulate(16, 1.0, 2000, uint64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res.PerOutput.Mean
+		}
+	})
+}
+
+// BenchmarkNetwork is the source-routed optical network extension:
+// fixed point and simulation of a three-hop tandem.
+func BenchmarkNetwork(b *testing.B) {
+	net := network.Network{
+		Switches: []network.Dim{{N1: 8, N2: 8}, {N1: 8, N2: 8}, {N1: 8, N2: 8}},
+		Routes: []network.Route{
+			{Name: "3-hop", Path: []int{0, 1, 2}, Rate: 1.2, Mu: 1},
+			{Name: "left", Path: []int{0}, Rate: 1.6, Mu: 1},
+			{Name: "right", Path: []int{2}, Rate: 1.6, Mu: 1},
+		},
+	}
+	b.Run("fixedpoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fp, err := network.FixedPoint(net, 1e-10, 500)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = fp.RouteBlocking[0]
+		}
+	})
+	b.Run("simulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := network.Simulate(net, network.SimConfig{
+				Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res.RouteBlocking[0].Mean
+		}
+	})
+}
+
+// BenchmarkAdmission is the trunk-reservation sweep: |Gamma| exact
+// CTMC solves per limit value.
+func BenchmarkAdmission(b *testing.B) {
+	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{
+		{Name: "gold", A: 1, Alpha: 0.05, Mu: 1},
+		{Name: "lead", A: 1, Alpha: 0.08, Mu: 1},
+	}}
+	weights := []float64{1.0, 0.01}
+	for i := 0; i < b.N; i++ {
+		best, _, err := admission.OptimizeReservation(sw, weights, 1, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = best.Revenue
+	}
+}
+
+// BenchmarkIPP is the bursty-approximation experiment: one on/off
+// fabric simulation plus the BPP-fit analytic solve.
+func BenchmarkIPP(b *testing.B) {
+	src, err := ipp.Design(1.5, 1.6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := ipp.SimulateCrossbar(6, 6, src, 1, ipp.SimConfig{
+			Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		approx, err := ipp.BPPApprox(6, 6, src, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = approx.Blocking[0] - (1 - res.TimeNonBlocking.Mean)
+	}
+}
+
+// BenchmarkClos simulates the strict-sense nonblocking configuration.
+func BenchmarkClos(b *testing.B) {
+	net := clos.Network{M: 15, N: 8, R: 8}
+	for i := 0; i < b.N; i++ {
+		res, err := clos.Simulate(net, clos.SimConfig{
+			PerInputLoad: 0.6, Mu: 1, Policy: clos.RandomAvailable,
+			Seed: uint64(i + 1), Warmup: 100, Horizon: 3000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = res.CallBlocking.Mean
+	}
+}
+
+// BenchmarkTransient uniformizes a cold-start trajectory on a
+// Table 2 switch.
+func BenchmarkTransient(b *testing.B) {
+	sw := workload.Table2Switch(workload.Table2Sets()[0], 8)
+	chain, err := statespace.NewChain(sw, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pi0, err := transient.EmptyStart(chain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := []float64{0.5, 1, 2, 4, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traj, err := transient.BlockingTrajectory(chain, pi0, 0, times, transient.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = traj[len(traj)-1]
+	}
+}
+
+// BenchmarkHotspot solves and simulates the non-uniform access model.
+func BenchmarkHotspot(b *testing.B) {
+	m := hotspot.Model{N1: 8, N2: 8, Lambda: 4, Mu: 1, HotFraction: 0.4}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := hotspot.Solve(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res.HotNonBlocking
+		}
+	})
+	b.Run("simulate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := hotspot.Simulate(m, hotspot.SimConfig{
+				Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res.HotBlocking.Mean
+		}
+	})
+}
+
+// BenchmarkWDM measures the wavelength-continuity path simulation.
+func BenchmarkWDM(b *testing.B) {
+	p := wdm.Path{L: 4, W: 8, Rate: 2, CrossRate: 2.5, Mu: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := wdm.Simulate(p, wdm.SimConfig{
+			Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = res.EndToEndBlocking.Mean
+	}
+}
+
+// BenchmarkRetrial simulates the retry-feedback model.
+func BenchmarkRetrial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := retrial.Run(retrial.Config{
+			N1: 6, N2: 6, Lambda: 4, Mu: 1,
+			MaxAttempts: 4, RetryRate: 2,
+			Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = res.Abandonment.Mean
+	}
+}
+
+// BenchmarkTraffic runs the Sinkhorn balancing plus a matrix-weighted
+// simulation.
+func BenchmarkTraffic(b *testing.B) {
+	skewed := traffic.NewUniform(8, 8)
+	for j := 0; j < 8; j++ {
+		skewed[0][j] += 4
+	}
+	for i := 0; i < b.N; i++ {
+		balanced, err := skewed.Sinkhorn(1e-10, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := traffic.Simulate(balanced, traffic.SimConfig{
+			Lambda: 7, Mu: 1, Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = res.Blocking.Mean
+	}
+}
+
+// BenchmarkOverflow runs the two-stage overflow system.
+func BenchmarkOverflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := overflow.Run(overflow.Config{
+			PrimaryN: 3, SecondaryN: 6, Lambda: 1.5, Mu: 1,
+			Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = res.SecondaryBlocking.Mean
+	}
+}
+
+// BenchmarkInputQueued measures the slotted HOL-contention simulator.
+func BenchmarkInputQueued(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ci, err := inputq.SaturationThroughput(16, 5000, inputq.InputQueued, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkF = ci.Mean
+	}
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates every table and figure of the paper
+// plus the reproduction's validation, ablation and extension studies
+// (implemented in internal/experiments).
+//
+// Usage:
+//
+//	experiments -run all [-out results] [-quick]
+//	experiments -run fig1|fig2|fig3|fig4|table1|table2|simcheck|ablation|baselines|network
+//	experiments -run admission|ipp|clos|transient|hotspot|wdm|retrial|traffic|overflow|inputq|figdense  (extensions)
+//
+// Text renderings go to stdout; CSV files go to the -out directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xbar/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all",
+		"experiment to run: "+strings.Join(experiments.Order(), " ")+" or all")
+	out := flag.String("out", "results", "directory for CSV output")
+	quick := flag.Bool("quick", false, "shorter simulation horizons")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	steps := experiments.Steps()
+	if *run == "all" {
+		for _, name := range experiments.Order() {
+			fmt.Printf("==== %s ====\n", name)
+			if err := steps[name](*out, *quick); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	step, ok := steps[*run]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *run))
+	}
+	if err := step(*out, *quick); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command xbar is the analytical calculator for the asynchronous
+// multi-rate crossbar model: it evaluates blocking, concurrency,
+// throughput, utilization and (optionally) revenue measures for a
+// switch and traffic mix given on the command line.
+//
+// Usage:
+//
+//	xbar -n1 128 -n2 128 \
+//	     -class voice:1:0.0024:0:1 \
+//	     -class video:2:0.001:0.0005:0.5 \
+//	     [-alg alg1|alg2|direct|conv] [-weights 1,0.0001] [-occupancy]
+//
+// Each -class flag is name:a:alphaTilde:betaTilde:mu in the paper's
+// aggregate ("tilde") units: intensity per particular input set over
+// all C(N2,a) output sets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"xbar/internal/cli"
+	"xbar/internal/core"
+	"xbar/internal/report"
+	"xbar/internal/revenue"
+)
+
+func main() {
+	n1 := flag.Int("n1", 16, "number of switch inputs")
+	n2 := flag.Int("n2", 16, "number of switch outputs")
+	alg := flag.String("alg", "alg1", "evaluator: alg1 (scaled recursion), alg2 (mean value), direct (state sum), conv (convolution)")
+	weights := flag.String("weights", "", "comma-separated revenue weights, one per class; enables the revenue report")
+	occupancy := flag.Bool("occupancy", false, "print the occupancy distribution (conv evaluator)")
+	var classes cli.ClassFlag
+	flag.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
+	flag.Parse()
+
+	if len(classes) == 0 {
+		classes = cli.ClassFlag{{Name: "default", A: 1, AlphaTilde: 0.0024, Mu: 1}}
+	}
+	sw := core.NewSwitch(*n1, *n2, classes...)
+
+	var res *core.Result
+	var err error
+	switch *alg {
+	case "alg1":
+		res, err = core.Solve(sw)
+	case "alg2":
+		res, err = core.SolveMVA(sw)
+	case "direct":
+		res, err = core.SolveDirect(sw)
+	case "conv":
+		res, err = core.SolveConvolution(sw)
+	default:
+		err = fmt.Errorf("unknown evaluator %q", *alg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbar:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%dx%d asynchronous crossbar (%s), ln G = %.6f, utilization %.4f\n\n",
+		sw.N1, sw.N2, res.Method, res.LogG, res.Utilization())
+	headers := []string{"class", "a", "rho(route)", "Z", "blocking", "non-blocking", "E[k]", "throughput"}
+	var rows [][]string
+	for i, c := range sw.Classes {
+		rows = append(rows, []string{
+			c.Name,
+			strconv.Itoa(c.A),
+			report.FormatFloat(c.Rho()),
+			fmt.Sprintf("%.4f", c.BPP().Peakedness()),
+			report.FormatFloat(res.Blocking[i]),
+			report.FormatFloat(res.NonBlocking[i]),
+			report.FormatFloat(res.Concurrency[i]),
+			report.FormatFloat(res.Throughput(i)),
+		})
+	}
+	if err := report.Table(os.Stdout, headers, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "xbar:", err)
+		os.Exit(1)
+	}
+
+	if *occupancy && res.Occupancy != nil {
+		fmt.Println()
+		var occRows [][]string
+		for s, p := range res.Occupancy {
+			if p < 1e-12 && s > 0 {
+				continue
+			}
+			occRows = append(occRows, []string{strconv.Itoa(s), report.FormatFloat(p)})
+		}
+		if err := report.Table(os.Stdout, []string{"busy", "P"}, occRows); err != nil {
+			fmt.Fprintln(os.Stderr, "xbar:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *weights != "" {
+		ws, err := cli.ParseWeights(*weights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbar:", err)
+			os.Exit(1)
+		}
+		an, err := revenue.New(sw, ws)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbar:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrevenue W(N) = %s\n", report.FormatFloat(an.W()))
+		headers := []string{"class", "w", "shadow cost", "profitable", "dW/drho (closed)", "dW/d(beta/mu)"}
+		var rrows [][]string
+		for i, c := range sw.Classes {
+			grad := "-"
+			if !c.IsPoisson() && sw.MinN() >= 2 {
+				grad = report.FormatFloat(an.GradientBetaMu(i, 1e-4))
+			}
+			rrows = append(rrows, []string{
+				c.Name,
+				report.FormatFloat(ws[i]),
+				report.FormatFloat(an.ShadowCost(i)),
+				fmt.Sprintf("%v", an.Profitable(i)),
+				report.FormatFloat(an.GradientRhoClosed(i)),
+				grad,
+			})
+		}
+		if err := report.Table(os.Stdout, headers, rrows); err != nil {
+			fmt.Fprintln(os.Stderr, "xbar:", err)
+			os.Exit(1)
+		}
+	}
+}

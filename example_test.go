@@ -1,0 +1,41 @@
+package xbar_test
+
+import (
+	"fmt"
+
+	"xbar"
+)
+
+// The canonical workflow: describe the switch in the paper's aggregate
+// units, solve, read the measures.
+func ExampleSolve() {
+	sw := xbar.NewSwitch(16, 16,
+		xbar.AggregateClass{Name: "voice", A: 1, AlphaTilde: 0.0024, Mu: 1},
+	)
+	res, err := xbar.Solve(sw)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("blocking    %.6f\n", res.Blocking[0])
+	fmt.Printf("concurrency %.6f\n", res.Concurrency[0])
+	// Output:
+	// blocking    0.004623
+	// concurrency 0.038222
+}
+
+// Revenue analysis: shadow costs decide whether growing a class pays.
+func ExampleNewRevenueAnalysis() {
+	sw := xbar.Switch{N1: 3, N2: 3, Classes: []xbar.Class{
+		{Name: "gold", A: 1, Alpha: 0.3, Mu: 1},
+		{Name: "lead", A: 1, Alpha: 0.3, Mu: 1},
+	}}
+	an, err := xbar.NewRevenueAnalysis(sw, []float64{10, 0.001})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("grow gold: %v\n", an.Profitable(0))
+	fmt.Printf("grow lead: %v\n", an.Profitable(1))
+	// Output:
+	// grow gold: true
+	// grow lead: false
+}

@@ -1,0 +1,107 @@
+// Burstiness study: the two headline statistical claims of the paper,
+// observed in the fabric-level simulator rather than the formulas.
+//
+//  1. Peakedness matters: smooth (Bernoulli), regular (Poisson) and
+//     peaky (Pascal) sources with the SAME mean offered load produce
+//     ordered blocking, and for non-Poisson sources the blocking an
+//     arriving request experiences (call congestion) splits away from
+//     the time-average view (no PASTA).
+//  2. Holding times do not: the measures are insensitive to the
+//     holding-time distribution given its mean.
+//
+// Run with: go run ./examples/burstiness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xbar/internal/core"
+	"xbar/internal/dist"
+	"xbar/internal/rng"
+	"xbar/internal/sim"
+)
+
+func main() {
+	const (
+		n       = 8
+		mean    = 1.6 // mean offered connections (infinite-server sense)
+		horizon = 150000.0
+	)
+
+	fmt.Println("-- 1. peakedness sweep at constant mean load --")
+	fmt.Printf("%-18s %-6s %-22s %-12s %-12s\n",
+		"traffic", "Z", "blocking (analytic)", "time B (sim)", "call B (sim)")
+	// Z = 0.9 gives a Bernoulli source population of
+	// M/(1-Z) = 16 >= N, satisfying the paper's validity constraint;
+	// stronger smoothing at this mean would need a bigger population
+	// than an 8x8 switch admits.
+	for _, z := range []float64{0.9, 1.0, 2.0, 4.0} {
+		// Fit the switch-total BPP process to (mean, Z), then spread
+		// the intensity uniformly over the N*N routes; the population
+		// ratio alpha/beta — and hence the validity constraint — is
+		// unchanged by the split.
+		src, err := dist.FitMeanPeakedness(mean, z, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		routes := float64(n * n)
+		sw := core.Switch{N1: n, N2: n, Classes: []core.Class{{
+			Name: src.Traffic().String(), A: 1,
+			Alpha: src.Alpha / routes, Beta: src.Beta / routes, Mu: src.Mu,
+		}}}
+		analytic, err := core.Solve(sw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Switch: sw, Seed: uint64(100 * z), Warmup: horizon / 10, Horizon: horizon,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Classes[0]
+		fmt.Printf("%-18s %-6.2f %-22.6f %-12.6f %-12.6f\n",
+			src.Traffic(), z, analytic.Blocking[0],
+			1-c.TimeNonBlocking.Mean, c.CallBlocking.Mean)
+	}
+	fmt.Println("\nreading: at FIXED MEAN load, peakier traffic leaves the switch")
+	fmt.Println("idler on time average (bursts waste capacity, so time congestion")
+	fmt.Println("falls) while the blocking an arriving request actually experiences")
+	fmt.Println("(call congestion) climbs — peaky arrivals show up exactly when the")
+	fmt.Println("switch is full. The paper's Figure 2, which fixes alpha~ instead and")
+	fmt.Println("lets the mean grow with beta~, sees both measures rise.")
+
+	fmt.Println("\n-- 2. insensitivity to the holding-time distribution --")
+	sw := core.Switch{N1: n, N2: n, Classes: []core.Class{{
+		Name: "peaky", A: 1, Alpha: 0.8 / float64(n*n), Beta: 0.5 / float64(n*n), Mu: 1,
+	}}}
+	analytic, err := core.Solve(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic blocking %.6f, concurrency %.6f\n",
+		analytic.Blocking[0], analytic.Concurrency[0])
+	services := []rng.ServiceDist{
+		rng.Exponential{M: 1},
+		rng.Deterministic{M: 1},
+		rng.Erlang{K: 4, M: 1},
+		rng.BalancedHyperExp2(1, 4),
+		rng.ParetoWithMean(1, 2.5),
+	}
+	for i, d := range services {
+		res, err := sim.Run(sim.Config{
+			Switch: sw, Seed: uint64(7 + i), Warmup: horizon / 10, Horizon: horizon,
+			Service: []rng.ServiceDist{d},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Classes[0]
+		fmt.Printf("%-14s time B %.6f ± %.6f   E %.5f ± %.5f\n",
+			d.Name(), 1-c.TimeNonBlocking.Mean, c.TimeNonBlocking.HalfWidth,
+			c.Concurrency.Mean, c.Concurrency.HalfWidth)
+	}
+	fmt.Println("\nreading: five very different holding-time shapes, one steady state —")
+	fmt.Println("the product form depends on service only through its mean.")
+}

@@ -1,0 +1,61 @@
+// Optical backbone: a source-routed circuit-switching network of
+// asynchronous crossbars (the application the paper's introduction
+// sketches). Connection requests carry their whole path; intermediate
+// crossbars do no computation — they either have the ports idle or the
+// request clears end-to-end. Compares the Erlang fixed-point
+// approximation against an exact event-driven simulation.
+//
+// Run with: go run ./examples/optical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xbar/internal/network"
+)
+
+func main() {
+	// A five-node line-plus-shortcut topology of 16x16 crossbars:
+	//
+	//	0 -- 1 -- 2 -- 3 -- 4
+	//	      \____2____/        (node 2 also bridges 1 and 3)
+	net := network.Network{
+		Switches: []network.Dim{
+			{N1: 16, N2: 16}, {N1: 16, N2: 16}, {N1: 16, N2: 16},
+			{N1: 16, N2: 16}, {N1: 16, N2: 16},
+		},
+		Routes: []network.Route{
+			{Name: "metro-west", Path: []int{0, 1}, Rate: 0.9, Mu: 1},
+			{Name: "metro-east", Path: []int{3, 4}, Rate: 0.9, Mu: 1},
+			{Name: "transit", Path: []int{0, 1, 2, 3, 4}, Rate: 0.3, Mu: 1},
+			{Name: "regional", Path: []int{1, 2, 3}, Rate: 0.45, Mu: 1},
+		},
+	}
+
+	fp, err := network.FixedPoint(net, 1e-10, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced-load fixed point converged in %d iterations\n\n", fp.Iterations)
+	fmt.Println("per-switch thinned load and blocking:")
+	for s := range net.Switches {
+		fmt.Printf("  switch %d: load %6.3f erl, hop blocking %.5f\n",
+			s, fp.SwitchLoad[s], fp.SwitchBlocking[s])
+	}
+
+	sim, err := network.Simulate(net, network.SimConfig{
+		Seed: 42, Warmup: 20000, Horizon: 200000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nend-to-end blocking (fixed point vs %d-event simulation):\n", sim.Events)
+	for i, r := range net.Routes {
+		fmt.Printf("  %-11s %d hops: %.5f approx vs %.5f ± %.5f simulated\n",
+			r.Name, len(r.Path), fp.RouteBlocking[i],
+			sim.RouteBlocking[i].Mean, sim.RouteBlocking[i].HalfWidth)
+	}
+	fmt.Println("\nreading: the transit route pays for every hop it crosses; the")
+	fmt.Println("independence approximation tracks the simulation to a few percent.")
+}

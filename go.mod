@@ -1,0 +1,3 @@
+module xbar
+
+go 1.22

@@ -1,0 +1,112 @@
+// Package admission adds admission control to the crossbar — the
+// operational lever the paper's revenue analysis motivates. Section 4
+// shows that when w_r is below the shadow cost DeltaW_r(N), every
+// accepted class-r connection destroys revenue; the classical remedy
+// is trunk reservation: admit class r only while the switch occupancy
+// would stay at or below a class limit T_r, reserving the remaining
+// capacity for more valuable traffic.
+//
+// A reservation policy breaks the reversibility behind the paper's
+// product form, so evaluation here is exact numerical solution of the
+// policy-modified CTMC (internal/statespace), not a formula. The
+// discrete-event simulator accepts the same policies
+// (sim.Config.Admit) for cross-validation at scale.
+package admission
+
+import (
+	"fmt"
+
+	"xbar/internal/core"
+	"xbar/internal/statespace"
+)
+
+// TrunkReservation builds the policy that admits a class-r request in
+// state k only if the post-acceptance occupancy k.A + a_r stays within
+// limits[r]. A limit of min(N1,N2) (or more) leaves the class
+// uncontrolled.
+func TrunkReservation(sw core.Switch, limits []int) (statespace.AdmissionPolicy, error) {
+	if len(limits) != len(sw.Classes) {
+		return nil, fmt.Errorf("admission: %d limits for %d classes", len(limits), len(sw.Classes))
+	}
+	for r, t := range limits {
+		if t < 0 {
+			return nil, fmt.Errorf("admission: class %d limit %d is negative", r, t)
+		}
+	}
+	classes := sw.Classes
+	return func(k []int, r int) bool {
+		return sw.OccupancyOf(k)+classes[r].A <= limits[r]
+	}, nil
+}
+
+// Evaluation holds the exact steady-state outcome of one policy.
+type Evaluation struct {
+	// Limits echoes the evaluated reservation limits.
+	Limits []int
+	// CallBlocking is the per-class loss probability seen by arrivals
+	// (policy rejections plus port contention).
+	CallBlocking []float64
+	// Concurrency is E_r under the policy.
+	Concurrency []float64
+	// Revenue is W = sum w_r E_r.
+	Revenue float64
+}
+
+// Evaluate solves the switch under a trunk-reservation policy exactly.
+// maxStates guards the CTMC size (the chain is |Gamma(N)| states).
+func Evaluate(sw core.Switch, weights []float64, limits []int, maxStates int) (*Evaluation, error) {
+	if len(weights) != len(sw.Classes) {
+		return nil, fmt.Errorf("admission: %d weights for %d classes", len(weights), len(sw.Classes))
+	}
+	policy, err := TrunkReservation(sw, limits)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := statespace.NewChainWithPolicy(sw, maxStates, policy)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := chain.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	meas := chain.Measures(pi)
+	ev := &Evaluation{
+		Limits:       append([]int(nil), limits...),
+		CallBlocking: chain.CallBlocking(pi),
+		Concurrency:  meas.Concurrency,
+	}
+	for r, w := range weights {
+		ev.Revenue += w * meas.Concurrency[r]
+	}
+	return ev, nil
+}
+
+// OptimizeReservation sweeps the reservation limit of one class from 0
+// to min(N1,N2) with every other class uncontrolled, returning the
+// revenue-maximizing evaluation and the whole sweep. This is the
+// one-dimensional trunk-reservation design problem: how much of the
+// switch should a low-value class be allowed to occupy?
+func OptimizeReservation(sw core.Switch, weights []float64, class, maxStates int) (*Evaluation, []*Evaluation, error) {
+	if class < 0 || class >= len(sw.Classes) {
+		return nil, nil, fmt.Errorf("admission: class %d of %d", class, len(sw.Classes))
+	}
+	limits := make([]int, len(sw.Classes))
+	for r := range limits {
+		limits[r] = sw.MinN()
+	}
+	var best *Evaluation
+	var sweep []*Evaluation
+	for t := 0; t <= sw.MinN(); t++ {
+		limits[class] = t
+		ev, err := Evaluate(sw, weights, limits, maxStates)
+		if err != nil {
+			return nil, nil, err
+		}
+		sweep = append(sweep, ev)
+		if best == nil || ev.Revenue > best.Revenue {
+			best = ev
+		}
+	}
+	return best, sweep, nil
+}

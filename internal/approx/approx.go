@@ -1,0 +1,145 @@
+// Package approx provides a constant-space, O(iterations x R)
+// engineering approximation of the crossbar measures: the
+// endpoint-independence fixed point. Where the exact algorithms cost
+// O(N1 N2 R) lattice work, this treats the input ports and output
+// ports as independently utilized pools:
+//
+//	U1 = sum_r a_r E_r / N1,     U2 = sum_r a_r E_r / N2,
+//	B_r = 1 - (1-U1)^a_r (1-U2)^a_r,
+//	E_r = T_r (1 - B_r) / mu_r,
+//
+// with T_r the class's total offered call rate, iterated to a fixed
+// point. It is exact as N grows with port utilization held fixed
+// (occupancy correlations vanish) and lands within a few percent at
+// the paper's operating points, making it the right tool for
+// back-of-envelope sizing of very large optical fabrics. Poisson
+// classes only: state-dependent sources need the real algorithms.
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/combin"
+	"xbar/internal/core"
+)
+
+// Result holds the approximate measures.
+type Result struct {
+	// Blocking approximates the specific-route time congestion per
+	// class.
+	Blocking []float64
+	// Concurrency approximates E_r.
+	Concurrency []float64
+	// InputUtilization and OutputUtilization are the fixed-point port
+	// busy fractions.
+	InputUtilization, OutputUtilization float64
+	// Iterations taken to converge.
+	Iterations int
+}
+
+// Solve iterates the endpoint fixed point for a switch whose classes
+// are all Poisson. tol bounds the largest per-class E change.
+func Solve(sw core.Switch, tol float64, maxIter int) (*Result, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	for i, c := range sw.Classes {
+		if !c.IsPoisson() {
+			return nil, fmt.Errorf("approx: class %d (%s) is not Poisson; use core.Solve", i, c.Name)
+		}
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("approx: tolerance %v", tol)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("approx: maxIter %d", maxIter)
+	}
+	// Total offered call rate per class over all ordered routes.
+	offered := make([]float64, len(sw.Classes))
+	maxCarried := 0.0
+	for r, c := range sw.Classes {
+		offered[r] = c.Alpha * combin.Perm(sw.N1, c.A) * combin.Perm(sw.N2, c.A)
+		maxCarried += float64(c.A) * offered[r] / c.Mu
+	}
+	// The aggregate busy level determines everything, and the map
+	// busy -> sum a_r T_r (1 - B_r(busy)) / mu_r is strictly
+	// decreasing, so its unique fixed point is found by bisection —
+	// immune to the 2-cycles naive successive substitution falls into
+	// under overload.
+	carriedAt := func(busy float64) (total float64, b []float64, e []float64) {
+		u1 := clamp01(busy / float64(sw.N1))
+		u2 := clamp01(busy / float64(sw.N2))
+		b = make([]float64, len(sw.Classes))
+		e = make([]float64, len(sw.Classes))
+		for r, c := range sw.Classes {
+			b[r] = 1 - math.Pow(1-u1, float64(c.A))*math.Pow(1-u2, float64(c.A))
+			e[r] = offered[r] * (1 - b[r]) / c.Mu
+			total += float64(c.A) * e[r]
+		}
+		return total, b, e
+	}
+	lo, hi := 0.0, math.Max(float64(sw.MinN()), maxCarried)
+	var iter int
+	for iter = 1; iter <= maxIter; iter++ {
+		mid := (lo + hi) / 2
+		total, _, _ := carriedAt(mid)
+		if total > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < tol {
+			break
+		}
+	}
+	if iter > maxIter {
+		return nil, fmt.Errorf("approx: no convergence in %d iterations", maxIter)
+	}
+	busy := (lo + hi) / 2
+	_, blocking, e := carriedAt(busy)
+	return &Result{
+		Blocking:          blocking,
+		Concurrency:       e,
+		InputUtilization:  clamp01(busy / float64(sw.N1)),
+		OutputUtilization: clamp01(busy / float64(sw.N2)),
+		Iterations:        iter,
+	}, nil
+}
+
+// AsymptoticBlocking returns the N -> infinity limit of the blocking
+// probability of a square crossbar carrying single-rate Poisson
+// traffic at fixed aggregate intensity alphaTilde per input set (the
+// paper's Figure 1-3 normalization, where the curves visibly flatten).
+// In the limit, port occupancies decouple and the per-port utilization
+// u solves the scalar fixed point
+//
+//	u = alphaTilde (1-u)^2,   B = 1 - (1-u)^2,
+//
+// found by bisection (the right side is decreasing in u).
+func AsymptoticBlocking(alphaTilde float64) (float64, error) {
+	if alphaTilde < 0 {
+		return 0, fmt.Errorf("approx: alphaTilde %v", alphaTilde)
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if alphaTilde*(1-mid)*(1-mid) > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	u := (lo + hi) / 2
+	return 1 - (1-u)*(1-u), nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,100 @@
+// Package cli holds the flag-parsing helpers shared by the xbar
+// command-line tools: the traffic-class flag syntax and the service-
+// distribution names, kept here so both binaries parse identically and
+// the parsing is unit-tested.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xbar/internal/core"
+	"xbar/internal/rng"
+)
+
+// ClassFlag accumulates repeated -class values of the form
+// name:a:alphaTilde:betaTilde:mu (the paper's aggregate units).
+type ClassFlag []core.AggregateClass
+
+// String implements flag.Value.
+func (c *ClassFlag) String() string { return fmt.Sprintf("%d classes", len(*c)) }
+
+// Set implements flag.Value, parsing one class specification.
+func (c *ClassFlag) Set(v string) error {
+	ac, err := ParseClass(v)
+	if err != nil {
+		return err
+	}
+	*c = append(*c, ac)
+	return nil
+}
+
+// ParseClass parses one name:a:alphaTilde:betaTilde:mu specification.
+func ParseClass(v string) (core.AggregateClass, error) {
+	parts := strings.Split(v, ":")
+	if len(parts) != 5 {
+		return core.AggregateClass{}, fmt.Errorf("cli: want name:a:alphaTilde:betaTilde:mu, got %q", v)
+	}
+	if parts[0] == "" {
+		return core.AggregateClass{}, fmt.Errorf("cli: empty class name in %q", v)
+	}
+	a, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return core.AggregateClass{}, fmt.Errorf("cli: bandwidth %q: %v", parts[1], err)
+	}
+	alpha, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return core.AggregateClass{}, fmt.Errorf("cli: alpha %q: %v", parts[2], err)
+	}
+	beta, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return core.AggregateClass{}, fmt.Errorf("cli: beta %q: %v", parts[3], err)
+	}
+	mu, err := strconv.ParseFloat(parts[4], 64)
+	if err != nil {
+		return core.AggregateClass{}, fmt.Errorf("cli: mu %q: %v", parts[4], err)
+	}
+	return core.AggregateClass{
+		Name: parts[0], A: a, AlphaTilde: alpha, BetaTilde: beta, Mu: mu,
+	}, nil
+}
+
+// ParseWeights parses a comma-separated weight list.
+func ParseWeights(v string) ([]float64, error) {
+	parts := strings.Split(v, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: weight %q: %v", p, err)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// ServiceNames lists the accepted -service values.
+func ServiceNames() []string {
+	return []string{"exp", "det", "erlang4", "hyper4", "pareto2.5"}
+}
+
+// ParseService returns the named holding-time distribution with the
+// given mean.
+func ParseService(name string, mean float64) (rng.ServiceDist, error) {
+	switch name {
+	case "", "exp":
+		return rng.Exponential{M: mean}, nil
+	case "det":
+		return rng.Deterministic{M: mean}, nil
+	case "erlang4":
+		return rng.Erlang{K: 4, M: mean}, nil
+	case "hyper4":
+		return rng.BalancedHyperExp2(mean, 4), nil
+	case "pareto2.5":
+		return rng.ParetoWithMean(mean, 2.5), nil
+	default:
+		return nil, fmt.Errorf("cli: unknown service distribution %q (want one of %s)",
+			name, strings.Join(ServiceNames(), " "))
+	}
+}

@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseClass(t *testing.T) {
+	ac, err := ParseClass("voice:1:0.0024:0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.Name != "voice" || ac.A != 1 || ac.AlphaTilde != 0.0024 || ac.BetaTilde != 0 || ac.Mu != 1 {
+		t.Errorf("parsed %+v", ac)
+	}
+	ac, err = ParseClass("video:2:1e-3:-4e-6:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.A != 2 || ac.BetaTilde != -4e-6 || ac.Mu != 0.5 {
+		t.Errorf("parsed %+v", ac)
+	}
+}
+
+func TestParseClassErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"voice:1:0.1:0",         // too few fields
+		"voice:1:0.1:0:1:extra", // too many
+		":1:0.1:0:1",            // empty name
+		"voice:x:0.1:0:1",       // bad a
+		"voice:1:x:0:1",         // bad alpha
+		"voice:1:0.1:x:1",       // bad beta
+		"voice:1:0.1:0:x",       // bad mu
+	}
+	for _, v := range bad {
+		if _, err := ParseClass(v); err == nil {
+			t.Errorf("ParseClass(%q) accepted", v)
+		}
+	}
+}
+
+func TestClassFlagAccumulates(t *testing.T) {
+	var f ClassFlag
+	if err := f.Set("a:1:0.1:0:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("b:2:0.2:0.1:2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 2 || f[0].Name != "a" || f[1].Name != "b" {
+		t.Errorf("accumulated %+v", f)
+	}
+	if f.String() != "2 classes" {
+		t.Errorf("String = %q", f.String())
+	}
+	if err := f.Set("bad"); err == nil {
+		t.Error("bad value accepted")
+	}
+	if len(f) != 2 {
+		t.Error("failed Set modified the flag")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("1, 0.0001 ,2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 3 || w[0] != 1 || w[1] != 0.0001 || w[2] != 2.5 {
+		t.Errorf("parsed %v", w)
+	}
+	if _, err := ParseWeights("1,x"); err == nil {
+		t.Error("bad weight accepted")
+	}
+}
+
+func TestParseService(t *testing.T) {
+	for _, name := range ServiceNames() {
+		d, err := ParseService(name, 2.0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(d.Mean()-2.0) > 1e-9 {
+			t.Errorf("%s: mean %v, want 2", name, d.Mean())
+		}
+	}
+	// Default (empty) is exponential.
+	d, err := ParseService("", 1.5)
+	if err != nil || d.Name() != "exponential" {
+		t.Errorf("default service = %v, %v", d, err)
+	}
+	if _, err := ParseService("weibull", 1); err == nil {
+		t.Error("unknown service accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseClass: the parser must never panic and, when it accepts,
+// must round-trip the numeric fields consistently.
+func FuzzParseClass(f *testing.F) {
+	f.Add("voice:1:0.0024:0:1")
+	f.Add("x:2:1e-3:-4e-6:0.5")
+	f.Add(":::::")
+	f.Add("a:b:c:d:e")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, v string) {
+		ac, err := ParseClass(v)
+		if err != nil {
+			return
+		}
+		// Accepted specs have exactly five fields and a non-empty name.
+		if strings.Count(v, ":") != 4 {
+			t.Fatalf("accepted %q with %d colons", v, strings.Count(v, ":"))
+		}
+		if ac.Name == "" {
+			t.Fatalf("accepted empty name from %q", v)
+		}
+	})
+}
+
+// FuzzParseWeights: never panics; accepted output has one entry per
+// comma-separated field.
+func FuzzParseWeights(f *testing.F) {
+	f.Add("1,2,3")
+	f.Add("1")
+	f.Add("")
+	f.Add("1e300,-5")
+	f.Fuzz(func(t *testing.T, v string) {
+		ws, err := ParseWeights(v)
+		if err != nil {
+			return
+		}
+		if len(ws) != len(strings.Split(v, ",")) {
+			t.Fatalf("parsed %d weights from %q", len(ws), v)
+		}
+	})
+}

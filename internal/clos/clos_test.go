@@ -1,0 +1,222 @@
+package clos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateAndGeometry(t *testing.T) {
+	c := Network{M: 5, N: 3, R: 4}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ports() != 12 {
+		t.Errorf("Ports = %d, want 12", c.Ports())
+	}
+	// 2 n m r + m r^2 = 2*3*5*4 + 5*16 = 120 + 80 = 200.
+	if c.Crosspoints() != 200 {
+		t.Errorf("Crosspoints = %d, want 200", c.Crosspoints())
+	}
+	if c.CrossbarCrosspoints() != 144 {
+		t.Errorf("CrossbarCrosspoints = %d, want 144", c.CrossbarCrosspoints())
+	}
+	if err := (Network{M: 0, N: 1, R: 1}).Validate(); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestClosSavesCrosspointsAtScale(t *testing.T) {
+	// n = r = sqrt(N), m = 2n-1: the classical N^(3/2) construction
+	// undercuts N^2 once N is large enough.
+	c := Network{N: 16, R: 16, M: 31}
+	if c.Crosspoints() >= c.CrossbarCrosspoints() {
+		t.Errorf("Clos %d crosspoints should undercut crossbar %d",
+			c.Crosspoints(), c.CrossbarCrosspoints())
+	}
+}
+
+func TestStrictSenseCondition(t *testing.T) {
+	if !(Network{M: 5, N: 3, R: 4}).StrictSenseNonblocking() {
+		t.Error("m = 2n-1 should be strict-sense nonblocking")
+	}
+	if (Network{M: 4, N: 3, R: 4}).StrictSenseNonblocking() {
+		t.Error("m = 2n-2 should not be strict-sense nonblocking")
+	}
+}
+
+func TestLeeBlockingBasics(t *testing.T) {
+	c := Network{M: 4, N: 4, R: 4}
+	b0, err := c.LeeBlocking(0)
+	if err != nil || b0 != 0 {
+		t.Errorf("Lee blocking at zero load = %v, %v", b0, err)
+	}
+	b1, err := c.LeeBlocking(1)
+	if err != nil || b1 != 1 {
+		// p = a n/m = 1 -> every path busy.
+		t.Errorf("Lee blocking at unit load = %v, %v", b1, err)
+	}
+	// Monotone in load.
+	prev := -1.0
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.8} {
+		b, err := c.LeeBlocking(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= prev {
+			t.Errorf("Lee blocking not increasing at a=%v", a)
+		}
+		prev = b
+	}
+	// More middle switches always help.
+	richer := Network{M: 6, N: 4, R: 4}
+	bRich, _ := richer.LeeBlocking(0.5)
+	bPoor, _ := c.LeeBlocking(0.5)
+	if bRich >= bPoor {
+		t.Errorf("m=6 blocking %v should be below m=4's %v", bRich, bPoor)
+	}
+	if _, err := c.LeeBlocking(1.5); err == nil {
+		t.Error("load > 1 accepted")
+	}
+}
+
+// TestClosTheoremInSimulation: with m = 2n-1 and any work-conserving
+// path policy, a request with free external ports is NEVER internally
+// blocked — the Clos strict-sense nonblocking theorem, verified on the
+// event stream.
+func TestClosTheoremInSimulation(t *testing.T) {
+	c := Network{M: 2*4 - 1, N: 4, R: 5}
+	for _, pol := range []Policy{RandomAvailable, FirstFit} {
+		res, err := Simulate(c, SimConfig{
+			PerInputLoad: 0.9, Mu: 1, Policy: pol,
+			Seed: 3, Warmup: 500, Horizon: 20000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InternallyBlocked != 0 {
+			t.Errorf("%v: %d internal blocks on a strict-sense nonblocking network",
+				pol, res.InternallyBlocked)
+		}
+		if res.Offered == 0 {
+			t.Error("no traffic")
+		}
+	}
+}
+
+// TestInternalBlockingAppearsBelowClosBound: with m < 2n-1 internal
+// blocking is possible and observed at high load.
+func TestInternalBlockingAppearsBelowClosBound(t *testing.T) {
+	c := Network{M: 3, N: 4, R: 5}
+	res, err := Simulate(c, SimConfig{
+		PerInputLoad: 0.9, Mu: 1, Policy: RandomAvailable,
+		Seed: 4, Warmup: 500, Horizon: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InternallyBlocked == 0 {
+		t.Error("expected internal blocking below the Clos bound at high load")
+	}
+}
+
+// TestLeeIsAPessimisticBound: against a path-searching policy, Lee's
+// independence formula upper-bounds the observed internal blocking
+// (the n circuits of a switch occupy n distinct links, a negative
+// correlation the formula ignores), and both rise with load.
+func TestLeeIsAPessimisticBound(t *testing.T) {
+	c := Network{M: 6, N: 6, R: 8}
+	prevSim, prevLee := -1.0, -1.0
+	for _, load := range []float64{0.4, 0.55, 0.7} {
+		lee, err := c.LeeBlocking(load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(c, SimConfig{
+			PerInputLoad: load, Mu: 1, Policy: RandomAvailable,
+			Seed: 7, Warmup: 2000, Horizon: 40000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.InternalBlocking.Mean
+		if got > lee {
+			t.Errorf("load %v: simulated internal blocking %v exceeds Lee bound %v", load, got, lee)
+		}
+		if got <= prevSim || lee <= prevLee {
+			t.Errorf("load %v: blocking not increasing (sim %v vs %v, lee %v vs %v)",
+				load, got, prevSim, lee, prevLee)
+		}
+		prevSim, prevLee = got, lee
+	}
+}
+
+// TestPolicyOrdering: random-try (single probe) blocks more than
+// random-available (full search).
+func TestPolicyOrdering(t *testing.T) {
+	c := Network{M: 6, N: 6, R: 6}
+	run := func(p Policy) float64 {
+		res, err := Simulate(c, SimConfig{
+			PerInputLoad: 0.6, Mu: 1, Policy: p,
+			Seed: 11, Warmup: 1000, Horizon: 40000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CallBlocking.Mean
+	}
+	if bTry, bAvail := run(RandomTry), run(RandomAvailable); bTry <= bAvail {
+		t.Errorf("random-try blocking %v should exceed random-available %v", bTry, bAvail)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c := Network{M: 3, N: 2, R: 2}
+	if _, err := Simulate(c, SimConfig{PerInputLoad: 2, Mu: 1, Horizon: 10}); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	if _, err := Simulate(c, SimConfig{PerInputLoad: 0.5, Mu: 0, Horizon: 10}); err == nil {
+		t.Error("mu = 0 accepted")
+	}
+	if _, err := Simulate(c, SimConfig{PerInputLoad: 0.5, Mu: 1, Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Simulate(c, SimConfig{PerInputLoad: 0.5, Mu: 1, Horizon: 10, Batches: 1}); err == nil {
+		t.Error("single batch accepted")
+	}
+	if _, err := Simulate(Network{}, SimConfig{PerInputLoad: 0.5, Mu: 1, Horizon: 10}); err == nil {
+		t.Error("invalid network accepted")
+	}
+	if _, err := Simulate(c, SimConfig{PerInputLoad: 0, Mu: 1, Horizon: 10}); err == nil {
+		t.Error("zero load accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RandomAvailable.String() != "random-available" ||
+		FirstFit.String() != "first-fit" ||
+		RandomTry.String() != "random-try" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := Network{M: 4, N: 3, R: 3}
+	cfg := SimConfig{PerInputLoad: 0.5, Mu: 1, Seed: 5, Warmup: 100, Horizon: 5000}
+	a, err := Simulate(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.Offered != b.Offered {
+		t.Error("same seed diverged")
+	}
+	if math.IsNaN(a.CallBlocking.Mean) {
+		t.Error("no call blocking estimate")
+	}
+}

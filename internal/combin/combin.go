@@ -1,0 +1,168 @@
+// Package combin provides the small combinatorial kernel used throughout
+// the crossbar model: factorials, falling factorials (permutations
+// P(n,a) = n!/(n-a)!), and binomial coefficients, in plain float64 and in
+// log space for the large arguments that appear when N reaches a few
+// hundred.
+package combin
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxExactFactorial is the largest n for which n! is exactly
+// representable in a float64 without rounding (20! < 2^63 < 21!; beyond
+// 22! float64 rounds). We keep an exact int64 table up to 20.
+const maxExactFactorial = 20
+
+var intFactorials = [maxExactFactorial + 1]int64{
+	1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800,
+	39916800, 479001600, 6227020800, 87178291200, 1307674368000,
+	20922789888000, 355687428096000, 6402373705728000,
+	121645100408832000, 2432902008176640000,
+}
+
+// Factorial returns n! as a float64. It is exact for n <= 20 and uses
+// repeated multiplication above that (overflowing to +Inf past n = 170).
+// It panics if n is negative: a negative factorial always indicates a
+// bug in lattice index arithmetic, not a recoverable condition.
+func Factorial(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: Factorial(%d): negative argument", n))
+	}
+	if n <= maxExactFactorial {
+		return float64(intFactorials[n])
+	}
+	f := float64(intFactorials[maxExactFactorial])
+	for i := maxExactFactorial + 1; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// LogFactorial returns ln(n!). Exact-table based for small n, and
+// computed by accumulation above; accurate enough (error < 1e-12
+// relative) for every n used by the model (n <= a few thousand).
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: LogFactorial(%d): negative argument", n))
+	}
+	if n <= maxExactFactorial {
+		return math.Log(float64(intFactorials[n]))
+	}
+	lf := math.Log(float64(intFactorials[maxExactFactorial]))
+	for i := maxExactFactorial + 1; i <= n; i++ {
+		lf += math.Log(float64(i))
+	}
+	return lf
+}
+
+// Perm returns the falling factorial P(n, a) = n! / (n-a)! =
+// n (n-1) ... (n-a+1), the number of ordered selections of a items from
+// n. It returns 0 when a > n, matching the convention that no route
+// exists through a switch with fewer than a idle ports. It panics on
+// negative arguments.
+func Perm(n, a int) float64 {
+	if n < 0 || a < 0 {
+		panic(fmt.Sprintf("combin: Perm(%d, %d): negative argument", n, a))
+	}
+	if a > n {
+		return 0
+	}
+	p := 1.0
+	for i := 0; i < a; i++ {
+		p *= float64(n - i)
+	}
+	return p
+}
+
+// LogPerm returns ln P(n, a). It panics when P(n, a) = 0 (a > n) or on
+// negative arguments, since a log of zero is never meaningful in the
+// recursions that call it.
+func LogPerm(n, a int) float64 {
+	if n < 0 || a < 0 || a > n {
+		panic(fmt.Sprintf("combin: LogPerm(%d, %d): undefined", n, a))
+	}
+	lp := 0.0
+	for i := 0; i < a; i++ {
+		lp += math.Log(float64(n - i))
+	}
+	return lp
+}
+
+// Binom returns the binomial coefficient C(n, a) as a float64, 0 when
+// a > n. It panics on negative arguments.
+func Binom(n, a int) float64 {
+	if n < 0 || a < 0 {
+		panic(fmt.Sprintf("combin: Binom(%d, %d): negative argument", n, a))
+	}
+	if a > n {
+		return 0
+	}
+	if a > n-a {
+		a = n - a
+	}
+	// Multiply in an order that keeps intermediate values integral:
+	// C(n, i) is integral at every step.
+	c := 1.0
+	for i := 1; i <= a; i++ {
+		c = c * float64(n-a+i) / float64(i)
+	}
+	return c
+}
+
+// BinomInt returns C(n, a) as an int64 and panics if the value
+// overflows int64. It is used where an exact small count is required
+// (state-space enumeration bounds).
+func BinomInt(n, a int) int64 {
+	if n < 0 || a < 0 {
+		panic(fmt.Sprintf("combin: BinomInt(%d, %d): negative argument", n, a))
+	}
+	if a > n {
+		return 0
+	}
+	if a > n-a {
+		a = n - a
+	}
+	var c int64 = 1
+	for i := 1; i <= a; i++ {
+		// c * (n-a+i) may overflow; divide first where possible.
+		g := gcd64(c, int64(i))
+		c /= g
+		m := int64(i) / g
+		num := int64(n - a + i)
+		g2 := gcd64(num, m)
+		num /= g2
+		m /= g2
+		if m != 1 {
+			panic("combin: BinomInt: internal division error")
+		}
+		if c > math.MaxInt64/num {
+			panic(fmt.Sprintf("combin: BinomInt(%d, %d): overflow", n, a))
+		}
+		c *= num
+	}
+	return c
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GeneralizedBinom returns the generalized binomial coefficient
+// C(x + k - 1, k) = x (x+1) ... (x+k-1) / k! for real x >= 0, which is
+// the Pascal-class term binom(alpha/beta - 1 + k, k) in the product-form
+// distribution (paper Section 2). It panics on negative k.
+func GeneralizedBinom(x float64, k int) float64 {
+	if k < 0 {
+		panic(fmt.Sprintf("combin: GeneralizedBinom(%v, %d): negative k", x, k))
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c *= (x + float64(i)) / float64(i+1)
+	}
+	return c
+}

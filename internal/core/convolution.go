@@ -1,0 +1,134 @@
+package core
+
+import (
+	"xbar/internal/scale"
+)
+
+// SolveConvolution evaluates the performance measures by convolving the
+// per-class factors over the total-occupancy axis:
+//
+//	g(s) = sum_{k : k.A = s} prod_r Phi_r(k_r),
+//	G(N) = sum_s Psi(s) g(s),   Psi(s) = P(N1,s) P(N2,s).
+//
+// Its cost is O(R * S^2) with S = min(N1,N2) — polynomial where
+// SolveDirect is exponential in R — and it additionally produces the
+// occupancy distribution P(k.A = s). It is the second independent
+// cross-check for the paper's recursive algorithms, in the spirit of
+// the Kaufman–Roberts occupancy recursion for multirate links.
+func SolveConvolution(sw Switch) (*Result, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	birth := make([]RateFunc, len(sw.Classes))
+	death := make([]RateFunc, len(sw.Classes))
+	for i, c := range sw.Classes {
+		c := c
+		birth[i] = c.Rate
+		death[i] = func(k int) float64 { return float64(k) * c.Mu }
+	}
+	phi, err := phiTables(sw, birth, death)
+	if err != nil {
+		return nil, err
+	}
+
+	s := sw.MinN()
+	psi := psiTable(sw)
+
+	// Full convolution across every class.
+	g := convolveAll(sw, phi, -1, s)
+
+	gn := scale.Zero
+	for occ := 0; occ <= s; occ++ {
+		gn = gn.Add(psi[occ].Mul(g[occ]))
+	}
+
+	res := &Result{
+		Switch:         sw,
+		Method:         "convolution",
+		NonBlocking:    make([]float64, len(sw.Classes)),
+		Concurrency:    make([]float64, len(sw.Classes)),
+		LogG:           gn.Log(),
+		Occupancy:      make([]float64, s+1),
+		ClassMarginals: make([][]float64, len(sw.Classes)),
+	}
+	for occ := 0; occ <= s; occ++ {
+		res.Occupancy[occ] = psi[occ].Mul(g[occ]).Ratio(gn)
+	}
+
+	for r, c := range sw.Classes {
+		// Non-blocking probability from the sub-switch normalization:
+		// G(N - a_r I) reuses the same g(s) (Phi does not depend on N)
+		// with the sub-switch Psi and occupancy bound.
+		if c.A > s {
+			res.NonBlocking[r] = 0
+			res.ClassMarginals[r] = []float64{1} // k_r is identically 0
+			continue
+		}
+		sub := sw.Sub(c.A)
+		psiSub := psiTable(sub)
+		gSub := scale.Zero
+		for occ := 0; occ <= sub.MinN(); occ++ {
+			gSub = gSub.Add(psiSub[occ].Mul(g[occ]))
+		}
+		res.NonBlocking[r] = gSub.Ratio(gn)
+
+		// Full class marginal: P(k_r = j) ~ Phi_r(j) sum_s Psi(s)
+		// gRest(s - j a_r), with gRest the convolution excluding class
+		// r; concurrency is its mean.
+		gRest := convolveAll(sw, phi, r, s)
+		marg := make([]scale.Number, sw.maxCount(r)+1)
+		for j := 0; j <= sw.maxCount(r); j++ {
+			acc := scale.Zero
+			for occ := j * c.A; occ <= s; occ++ {
+				rest := gRest[occ-j*c.A]
+				if rest.IsZero() {
+					continue
+				}
+				acc = acc.Add(psi[occ].Mul(rest))
+			}
+			marg[j] = phi[r][j].Mul(acc)
+		}
+		pm := make([]float64, len(marg))
+		mean := 0.0
+		for j, v := range marg {
+			pm[j] = v.Ratio(gn)
+			mean += float64(j) * pm[j]
+		}
+		res.ClassMarginals[r] = pm
+		res.Concurrency[r] = mean
+	}
+	res.finish()
+	return res, nil
+}
+
+// convolveAll convolves the Phi weight vectors of every class except
+// skip (pass skip = -1 to include all) on the occupancy axis 0..s.
+func convolveAll(sw Switch, phi [][]scale.Number, skip, s int) []scale.Number {
+	g := make([]scale.Number, s+1)
+	g[0] = scale.One
+	for r := range sw.Classes {
+		if r == skip {
+			continue
+		}
+		g = convolveClass(g, phi[r], sw.Classes[r].A, s)
+	}
+	return g
+}
+
+// convolveClass folds one class's weights w[j] (occupying j*a units)
+// into the running occupancy vector g.
+func convolveClass(g []scale.Number, w []scale.Number, a, s int) []scale.Number {
+	out := make([]scale.Number, s+1)
+	for occ := 0; occ <= s; occ++ {
+		if g[occ].IsZero() {
+			continue
+		}
+		for j := 0; j < len(w) && occ+j*a <= s; j++ {
+			if w[j].IsZero() {
+				continue
+			}
+			out[occ+j*a] = out[occ+j*a].Add(g[occ].Mul(w[j]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/combin"
+)
+
+// MVASolver runs the paper's Algorithm 2, the mean-value style
+// recursion (Section 5.1) cast directly in terms of the
+// normalization-constant ratios
+//
+//	F_i(n) = Q(n - 1_i) / Q(n),
+//	H_r(n) = Q(n - a_r I) / Q(n),
+//	D(r,n) = sum_m (beta_r/mu_r)^m Q(n - m a_r I)/Q(n),
+//
+// so every stored quantity is O(n_i) in magnitude and ordinary float64
+// suffices at any switch size — the numerical-stability advantage the
+// paper claims over Algorithm 1. Dividing Eq. 8 by Q(n) gives the
+// working recursion
+//
+//	F_i(n) = n_i / [ 1 + sum_{r in R1} a_r rho_r L_ir(n - 1_i)
+//	                   + sum_{r in R2} a_r rho_r L_ir(n - 1_i) D(r, n - a_r I) ],
+//
+// with L_ir(n - 1_i) = Q(n - a_r I)/Q(n - 1_i) a staircase product of
+// previously computed F values (Eq. 13-15, 20), and
+//
+//	D(r,n) = 1 + (beta_r/mu_r) H_r(n) D(r, n - a_r I).
+//
+// (The paper's Eq. 19 prints D = H_r + (beta/mu) D(n - a_r I), which is
+// inconsistent with the definition in Eq. 17; the form above is the one
+// that follows from Eq. 17 and makes Algorithm 2 agree with
+// Algorithm 1 — see TestMVAMatchesAlgorithm1.)
+type MVASolver struct {
+	sw     Switch
+	f1, f2 []float64
+	// d[j] is the D grid for the j-th bursty class.
+	d       [][]float64
+	burstyR []int // class index of each bursty class
+}
+
+// NewMVASolver validates the switch and fills the ratio lattices.
+func NewMVASolver(sw Switch) (*MVASolver, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	s := &MVASolver{sw: sw}
+	size := (sw.N1 + 1) * (sw.N2 + 1)
+	s.f1 = make([]float64, size)
+	s.f2 = make([]float64, size)
+	for r, c := range sw.Classes {
+		if !c.IsPoisson() {
+			s.burstyR = append(s.burstyR, r)
+			s.d = append(s.d, make([]float64, size))
+		}
+	}
+	s.fill()
+	return s, nil
+}
+
+// SolveMVA computes the performance measures for sw with Algorithm 2.
+func SolveMVA(sw Switch) (*Result, error) {
+	s, err := NewMVASolver(sw)
+	if err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
+}
+
+func (s *MVASolver) idx(n1, n2 int) int { return n1*(s.sw.N2+1) + n2 }
+
+// fAt returns F_i at a lattice point, applying the boundary values
+// F_1(0, n2) = 0, F_1(n1, 0) = n1 (and symmetrically for F_2), which
+// follow from Q = 0 off-lattice and Q(n1, 0) = 1/n1!.
+func (s *MVASolver) fAt(i, n1, n2 int) float64 {
+	if n1 < 0 || n2 < 0 {
+		return 0
+	}
+	if i == 1 {
+		return s.f1[s.idx(n1, n2)]
+	}
+	return s.f2[s.idx(n1, n2)]
+}
+
+// ratio returns Q(n1-da, n2-db)/Q(n1, n2) for 0 <= da, db as a product
+// of F factors along a staircase path, or 0 when the target leaves the
+// lattice. Only the patterns needed by the algorithm (da = db = a, and
+// the L variants) call it.
+func (s *MVASolver) ratio(n1, n2, a int) float64 {
+	// H_r(n) = Q(n-aI)/Q(n).
+	if n1-a < 0 || n2-a < 0 {
+		return 0
+	}
+	h := 1.0
+	p1, p2 := n1, n2
+	// Descend in direction 1 a times, then direction 2 a times, always
+	// using F values at points already final.
+	for t := 0; t < a; t++ {
+		h *= s.fAt(1, p1, p2)
+		p1--
+	}
+	for t := 0; t < a; t++ {
+		h *= s.fAt(2, p1, p2)
+		p2--
+	}
+	return h
+}
+
+// dAt returns D(r-th bursty class, n), with the off-lattice convention
+// D = 1 (only the m = 0 term survives).
+func (s *MVASolver) dAt(j, n1, n2 int) float64 {
+	if n1 < 0 || n2 < 0 {
+		return 1
+	}
+	return s.d[j][s.idx(n1, n2)]
+}
+
+func (s *MVASolver) fill() {
+	sw := s.sw
+	for n1 := 0; n1 <= sw.N1; n1++ {
+		for n2 := 0; n2 <= sw.N2; n2++ {
+			i := s.idx(n1, n2)
+			// F boundary and interior values.
+			switch {
+			case n1 == 0 && n2 == 0:
+				s.f1[i], s.f2[i] = 0, 0
+			case n2 == 0:
+				s.f1[i], s.f2[i] = float64(n1), 0
+			case n1 == 0:
+				s.f1[i], s.f2[i] = 0, float64(n2)
+			default:
+				s.f1[i] = s.solveF(1, n1, n2)
+				s.f2[i] = s.solveF(2, n1, n2)
+			}
+			// D grids, after F at this cell is final.
+			for j, r := range s.burstyR {
+				c := sw.Classes[r]
+				d := 1.0
+				if n1-c.A >= 0 && n2-c.A >= 0 {
+					h := s.ratio(n1, n2, c.A)
+					d = 1 + c.BetaMu()*h*s.dAt(j, n1-c.A, n2-c.A)
+				}
+				s.d[j][i] = d
+			}
+		}
+	}
+}
+
+// solveF evaluates the balance equation for F_i at an interior cell.
+func (s *MVASolver) solveF(i, n1, n2 int) float64 {
+	sw := s.sw
+	den := 1.0
+	for r, c := range sw.Classes {
+		a := c.A
+		if n1-a < 0 || n2-a < 0 {
+			continue
+		}
+		// L_ir(n - 1_i) = Q(n - aI)/Q(n - 1_i): staircase product from
+		// (n - 1_i) down to (n - aI).
+		var l float64
+		if i == 1 {
+			// From (n1-1, n2): direction 2 a times, then direction 1
+			// a-1 times.
+			l = 1.0
+			p1, p2 := n1-1, n2
+			for t := 0; t < a; t++ {
+				l *= s.fAt(2, p1, p2)
+				p2--
+			}
+			for t := 0; t < a-1; t++ {
+				l *= s.fAt(1, p1, p2)
+				p1--
+			}
+		} else {
+			// From (n1, n2-1): direction 1 a times, then direction 2
+			// a-1 times.
+			l = 1.0
+			p1, p2 := n1, n2-1
+			for t := 0; t < a; t++ {
+				l *= s.fAt(1, p1, p2)
+				p1--
+			}
+			for t := 0; t < a-1; t++ {
+				l *= s.fAt(2, p1, p2)
+				p2--
+			}
+		}
+		term := float64(a) * c.Rho() * l
+		if !c.IsPoisson() {
+			j := s.burstyIndex(r)
+			term *= s.dAt(j, n1-a, n2-a)
+		}
+		den += term
+	}
+	var ni float64
+	if i == 1 {
+		ni = float64(n1)
+	} else {
+		ni = float64(n2)
+	}
+	return ni / den
+}
+
+func (s *MVASolver) burstyIndex(r int) int {
+	for j, rr := range s.burstyR {
+		if rr == r {
+			return j
+		}
+	}
+	panic(fmt.Sprintf("core: class %d is not bursty", r))
+}
+
+// Result returns the measures at the full switch size.
+func (s *MVASolver) Result() *Result {
+	return s.ResultAt(s.sw.N1, s.sw.N2)
+}
+
+// ResultAt returns the measures for the sub-switch (n1, n2), read off
+// the solved ratio lattices.
+func (s *MVASolver) ResultAt(n1, n2 int) *Result {
+	if n1 < 1 || n2 < 1 || n1 > s.sw.N1 || n2 > s.sw.N2 {
+		panic(fmt.Sprintf("core: ResultAt(%d, %d) outside solved lattice %dx%d",
+			n1, n2, s.sw.N1, s.sw.N2))
+	}
+	sub := Switch{N1: n1, N2: n2, Classes: s.sw.Classes}
+	res := &Result{
+		Switch:      sub,
+		Method:      "algorithm2",
+		NonBlocking: make([]float64, len(sub.Classes)),
+		Concurrency: make([]float64, len(sub.Classes)),
+		LogG:        s.logG(n1, n2),
+	}
+	for r, c := range sub.Classes {
+		a := c.A
+		if a > sub.MinN() {
+			continue
+		}
+		h := s.ratio(n1, n2, a)
+		res.NonBlocking[r] = h / (combin.Perm(n1, a) * combin.Perm(n2, a))
+		// E_r(M) = H_r(M) (rho_r + (beta/mu) E_r(M - aI)) folded up the
+		// diagonal chain; rho_r * H_r(M) for Poisson classes.
+		e := 0.0
+		var chain []struct{ m1, m2 int }
+		for m1, m2 := n1, n2; m1 >= a && m2 >= a; m1, m2 = m1-a, m2-a {
+			chain = append(chain, struct{ m1, m2 int }{m1, m2})
+		}
+		for t := len(chain) - 1; t >= 0; t-- {
+			d := chain[t]
+			hm := s.ratio(d.m1, d.m2, a)
+			if c.IsPoisson() {
+				e = c.Rho() * hm
+			} else {
+				e = hm * (c.Rho() + c.BetaMu()*e)
+			}
+		}
+		res.Concurrency[r] = e
+	}
+	res.finish()
+	return res
+}
+
+// logG integrates ln Q along a lattice path and adds the factorials:
+// ln G(N) = ln Q(N) + ln N1! + ln N2!, with
+// ln Q(N) = -sum ln F_1(m1, 0) - sum ln F_2(N1, m2).
+func (s *MVASolver) logG(n1, n2 int) float64 {
+	lq := 0.0
+	for m1 := 1; m1 <= n1; m1++ {
+		lq -= math.Log(s.fAt(1, m1, 0))
+	}
+	for m2 := 1; m2 <= n2; m2++ {
+		lq -= math.Log(s.fAt(2, n1, m2))
+	}
+	return lq + combin.LogFactorial(n1) + combin.LogFactorial(n2)
+}

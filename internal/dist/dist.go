@@ -1,0 +1,232 @@
+// Package dist implements the arrival-traffic statistics used by the
+// model: the Bernoulli–Poisson–Pascal (BPP) family of Delbrouck [11],
+// which the paper uses as a unified approximation of smooth, regular and
+// peaky traffic.
+//
+// A BPP source is a state-dependent Markov arrival process with rate
+//
+//	lambda(k) = alpha + beta*k
+//
+// where k is the number of connections currently held by the source.
+// Offered to an infinite server group with per-connection service rate
+// mu, the number of busy servers is distributed:
+//
+//	Binomial ("Bernoulli" in the teletraffic sense)  for beta < 0,
+//	Poisson                                          for beta = 0,
+//	Pascal (negative binomial)                       for beta > 0.
+//
+// The peakedness Z = V/M of the busy-server distribution classifies the
+// traffic: smooth (Z < 1), regular (Z = 1), peaky (Z > 1). With b =
+// beta/mu and rho = alpha/mu the moments are M = rho/(1-b), V =
+// rho/(1-b)^2, Z = 1/(1-b); the paper states these with mu normalized
+// to 1.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/combin"
+)
+
+// Traffic classifies a BPP source by its peakedness.
+type Traffic int
+
+const (
+	// Smooth traffic has Z < 1 (Bernoulli/Binomial, beta < 0).
+	Smooth Traffic = iota
+	// Regular traffic has Z = 1 (Poisson, beta = 0).
+	Regular
+	// Peaky traffic has Z > 1 (Pascal, beta > 0).
+	Peaky
+)
+
+func (t Traffic) String() string {
+	switch t {
+	case Smooth:
+		return "smooth"
+	case Regular:
+		return "regular"
+	case Peaky:
+		return "peaky"
+	default:
+		return fmt.Sprintf("Traffic(%d)", int(t))
+	}
+}
+
+// BPP describes one Bernoulli–Poisson–Pascal source.
+type BPP struct {
+	Alpha float64 // state-independent arrival intensity, > 0
+	Beta  float64 // state-dependent arrival slope
+	Mu    float64 // per-connection service rate, > 0
+}
+
+// Rate returns the arrival rate lambda(k) = Alpha + Beta*k when k
+// connections are held. It is never negative for a valid Bernoulli
+// parameterization within the population bound.
+func (b BPP) Rate(k int) float64 { return b.Alpha + b.Beta*float64(k) }
+
+// Rho returns the offered load alpha/mu.
+func (b BPP) Rho() float64 { return b.Alpha / b.Mu }
+
+// B returns the normalized slope beta/mu.
+func (b BPP) B() float64 { return b.Beta / b.Mu }
+
+// Mean returns the mean M = rho/(1-b) of the busy-server count on an
+// infinite server group (paper Section 2 with mu = 1).
+func (b BPP) Mean() float64 { return b.Rho() / (1 - b.B()) }
+
+// Variance returns V = rho/(1-b)^2 of the infinite-server busy count.
+func (b BPP) Variance() float64 {
+	d := 1 - b.B()
+	return b.Rho() / (d * d)
+}
+
+// Peakedness returns the Z-factor Z = V/M = 1/(1-b).
+func (b BPP) Peakedness() float64 { return 1 / (1 - b.B()) }
+
+// Traffic classifies the source as Smooth, Regular, or Peaky.
+func (b BPP) Traffic() Traffic {
+	switch {
+	case b.Beta < 0:
+		return Smooth
+	case b.Beta > 0:
+		return Peaky
+	default:
+		return Regular
+	}
+}
+
+// Population returns the Bernoulli source population S = -alpha/beta.
+// It is only meaningful for Smooth traffic and panics otherwise.
+func (b BPP) Population() float64 {
+	if b.Beta >= 0 {
+		panic("dist: Population is defined only for smooth (beta < 0) sources")
+	}
+	return -b.Alpha / b.Beta
+}
+
+// Validate checks the parameter constraints from Section 2 of the paper
+// for a switch whose larger dimension is maxN:
+//
+//   - alpha > 0 and mu > 0 always;
+//   - Pascal requires 0 < beta/mu < 1 (the generating-function geometric
+//     series must converge);
+//   - Bernoulli requires -alpha/beta to be a (near-)integer population
+//     at least maxN, so that lambda(k) >= 0 for every reachable k.
+func (b BPP) Validate(maxN int) error {
+	if b.Alpha <= 0 {
+		return fmt.Errorf("dist: alpha = %v, must be > 0", b.Alpha)
+	}
+	if b.Mu <= 0 {
+		return fmt.Errorf("dist: mu = %v, must be > 0", b.Mu)
+	}
+	switch {
+	case b.Beta > 0:
+		if b.B() >= 1 {
+			return fmt.Errorf("dist: Pascal slope beta/mu = %v, must be < 1", b.B())
+		}
+	case b.Beta < 0:
+		s := b.Population()
+		if s < float64(maxN) {
+			return fmt.Errorf("dist: Bernoulli population %v < max(N1,N2) = %d; lambda(k) would go negative", s, maxN)
+		}
+		if r := math.Abs(s - math.Round(s)); r > 1e-6*math.Max(1, s) {
+			return fmt.Errorf("dist: Bernoulli population -alpha/beta = %v is not an integer", s)
+		}
+	}
+	return nil
+}
+
+// FitMeanPeakedness returns the BPP source with per-connection service
+// rate mu whose infinite-server busy count has the given mean M > 0 and
+// peakedness Z > 0: beta/mu = 1 - 1/Z and alpha/mu = M/Z. This is the
+// standard moment-matching step when approximating measured traffic by
+// a BPP stream.
+func FitMeanPeakedness(m, z, mu float64) (BPP, error) {
+	if m <= 0 || z <= 0 || mu <= 0 {
+		return BPP{}, fmt.Errorf("dist: FitMeanPeakedness(%v, %v, %v): arguments must be positive", m, z, mu)
+	}
+	return BPP{
+		Alpha: m / z * mu,
+		Beta:  (1 - 1/z) * mu,
+		Mu:    mu,
+	}, nil
+}
+
+// InfiniteServerPMF returns the probability of k busy servers when the
+// source is offered to an infinite server group, i.e. the defining
+// Binomial/Poisson/Pascal distribution of the BPP family.
+func (b BPP) InfiniteServerPMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	switch b.Traffic() {
+	case Regular:
+		return PoissonPMF(b.Rho(), k)
+	case Peaky:
+		// Negative binomial with r = alpha/beta successes parameter and
+		// p = beta/mu.
+		return PascalPMF(b.Alpha/b.Beta, b.B(), k)
+	default:
+		// Binomial over population S with p = -b/(1-b) solved from the
+		// birth-death balance: pi(k) ~ C(S,k) (-b)^k / (1-...) — the
+		// closed form is Binomial(S, p) with p = -b/(1-b).
+		s := int(math.Round(b.Population()))
+		bb := b.B()
+		p := -bb / (1 - bb)
+		return BinomialPMF(s, p, k)
+	}
+}
+
+// PoissonPMF returns e^-m m^k / k! computed in log space for stability
+// at large k.
+func PoissonPMF(m float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if m == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(-m + float64(k)*math.Log(m) - combin.LogFactorial(k))
+}
+
+// BinomialPMF returns C(n,k) p^k (1-p)^(n-k).
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := combin.LogFactorial(n) - combin.LogFactorial(k) - combin.LogFactorial(n-k)
+	return math.Exp(lg + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+}
+
+// PascalPMF returns the negative-binomial probability
+// C(r-1+k, k) p^k (1-p)^r for real r > 0 and 0 < p < 1 — the number of
+// busy servers for a peaky BPP source with r = alpha/beta, p = beta/mu.
+func PascalPMF(r, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return combin.GeneralizedBinom(r, k) * math.Pow(p, float64(k)) * math.Pow(1-p, r)
+}

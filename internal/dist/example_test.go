@@ -1,0 +1,22 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"xbar/internal/dist"
+)
+
+// Moment-matching measured traffic onto the BPP family: give the mean
+// and the peakedness, get the alpha/beta parameterization the crossbar
+// model consumes.
+func ExampleFitMeanPeakedness() {
+	src, err := dist.FitMeanPeakedness(2.0, 1.5, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha=%.4g beta=%.4g traffic=%s\n", src.Alpha, src.Beta, src.Traffic())
+	fmt.Printf("mean=%.4g Z=%.4g\n", src.Mean(), src.Peakedness())
+	// Output:
+	// alpha=1.333 beta=0.3333 traffic=peaky
+	// mean=2 Z=1.5
+}

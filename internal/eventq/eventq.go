@@ -1,0 +1,73 @@
+// Package eventq provides the time-ordered event queue every
+// discrete-event simulator in this repository schedules on: a binary
+// min-heap keyed by event time carrying an arbitrary payload. The
+// zero value is an empty, ready-to-use queue.
+package eventq
+
+// Queue is a min-heap of (time, payload) pairs. Not safe for
+// concurrent use; each simulator owns its queue.
+type Queue[T any] struct {
+	items []item[T]
+}
+
+type item[T any] struct {
+	at float64
+	v  T
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push schedules a payload at the given time.
+func (q *Queue[T]) Push(at float64, v T) {
+	q.items = append(q.items, item[T]{at: at, v: v})
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].at <= q.items[i].at {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+// PeekTime returns the earliest scheduled time, with ok = false when
+// the queue is empty.
+func (q *Queue[T]) PeekTime() (at float64, ok bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].at, true
+}
+
+// Pop removes and returns the earliest event. It panics on an empty
+// queue — popping nothing is always a simulator logic error.
+func (q *Queue[T]) Pop() (at float64, v T) {
+	if len(q.items) == 0 {
+		panic("eventq: Pop on empty queue")
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	var zero item[T]
+	q.items[last] = zero // release payload references
+	q.items = q.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.items) && q.items[l].at < q.items[smallest].at {
+			smallest = l
+		}
+		if r < len(q.items) && q.items[r].at < q.items[smallest].at {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top.at, top.v
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStepsRegistryComplete: every ordered name has an implementation
+// and vice versa.
+func TestStepsRegistryComplete(t *testing.T) {
+	steps := Steps()
+	order := Order()
+	if len(steps) != len(order) {
+		t.Fatalf("%d steps registered, %d ordered", len(steps), len(order))
+	}
+	for _, name := range order {
+		if steps[name] == nil {
+			t.Errorf("step %q missing", name)
+		}
+	}
+}
+
+// expectedCSV maps each step to the CSV files it must produce.
+var expectedCSV = map[string][]string{
+	"fig1":      {"figure1.csv"},
+	"fig2":      {"figure2.csv"},
+	"fig3":      {"figure3.csv"},
+	"fig4":      {"figure4.csv"},
+	"table1":    {"table1.csv"},
+	"table2":    {"table2.csv"},
+	"simcheck":  {"simcheck.csv"},
+	"ablation":  {"ablation.csv"},
+	"baselines": {"baseline_link.csv", "baseline_min.csv"},
+	"network":   {"network.csv"},
+	"admission": {"admission.csv"},
+	"ipp":       {"ipp.csv"},
+	"clos":      {"clos.csv"},
+	"transient": {"transient.csv"},
+	"hotspot":   {"hotspot.csv"},
+	"wdm":       {"wdm.csv"},
+	"retrial":   {"retrial.csv"},
+	"traffic":   {"traffic.csv"},
+	"overflow":  {"overflow.csv"},
+	"inputq":    {"inputq.csv"},
+	"figdense":  {"figure1_dense.csv", "figure2_dense.csv", "figure3_dense.csv"},
+}
+
+// TestEveryStepRunsQuick executes the full regeneration pipeline in
+// quick mode into a temporary directory and checks each step's CSV
+// artifacts appear and are non-empty. This is the integration test for
+// the whole evaluation harness.
+func TestEveryStepRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	dir := t.TempDir()
+	// Silence the text renderings: the step output goes to stdout by
+	// design; capture it away from the test log.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	steps := Steps()
+	for _, name := range Order() {
+		if err := steps[name](dir, true); err != nil {
+			t.Fatalf("step %s: %v", name, err)
+		}
+		for _, f := range expectedCSV[name] {
+			info, err := os.Stat(filepath.Join(dir, f))
+			if err != nil {
+				t.Fatalf("step %s: missing artifact %s: %v", name, f, err)
+			}
+			if info.Size() == 0 {
+				t.Fatalf("step %s: empty artifact %s", name, f)
+			}
+		}
+	}
+}

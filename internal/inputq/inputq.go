@@ -1,0 +1,205 @@
+// Package inputq implements the buffered counterpoint to the paper's
+// unbuffered switch: a slotted input-queued crossbar with FIFO queues
+// and head-of-line (HOL) service. The paper argues optical switches
+// cannot buffer and so must operate loss-mode; the classical result of
+// Karol, Hluchyj and Morgan (1987) quantifies what FIFO input
+// buffering would deliver anyway: HOL blocking caps the saturation
+// throughput at 2 - sqrt(2) ~ 0.586 as N grows (0.75 at N = 2), while
+// an (expensive) output-queued switch is work-conserving with
+// throughput 1. This package provides the slotted simulator for both
+// disciplines and the known saturation constants as test oracles.
+package inputq
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/rng"
+	"xbar/internal/stats"
+)
+
+// SaturationHOL returns the known asymptotic saturation throughput of
+// a FIFO input-queued crossbar, 2 - sqrt(2).
+func SaturationHOL() float64 { return 2 - math.Sqrt2 }
+
+// Discipline selects the buffering architecture.
+type Discipline int
+
+const (
+	// InputQueued: one FIFO per input; only the head-of-line cell may
+	// contend, and each output grants one requester per slot.
+	InputQueued Discipline = iota
+	// OutputQueued: every arriving cell reaches its output queue in
+	// the same slot (fabric speedup N); each output transmits one cell
+	// per slot. Work-conserving.
+	OutputQueued
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case InputQueued:
+		return "input-queued"
+	case OutputQueued:
+		return "output-queued"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Config parameterizes a slotted run.
+type Config struct {
+	// N is the switch size (N x N).
+	N int
+	// Load is the per-input cell arrival probability per slot, with
+	// uniform destinations. Load = 1 saturates the inputs.
+	Load float64
+	// Discipline selects input or output queueing.
+	Discipline Discipline
+	// Slots is the simulated horizon; QueueCap bounds each queue
+	// (cells arriving to a full queue are dropped; 0 means 10^6,
+	// effectively infinite for stable loads).
+	Slots    int
+	QueueCap int
+	Seed     uint64
+}
+
+// Result reports a run.
+type Result struct {
+	// Throughput is the delivered cells per output per slot.
+	Throughput stats.CI
+	// MeanDelay is the average queueing delay in slots of delivered
+	// cells (arrival slot to departure slot).
+	MeanDelay float64
+	// Dropped counts cells lost to full queues.
+	Dropped int64
+	// Delivered counts cells that reached their output.
+	Delivered int64
+}
+
+type cell struct {
+	dst     int
+	arrived int
+}
+
+// Run simulates the slotted switch.
+func Run(cfg Config) (*Result, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("inputq: N = %d", cfg.N)
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("inputq: load %v outside [0,1]", cfg.Load)
+	}
+	const batches = 20
+	if cfg.Slots < batches {
+		return nil, fmt.Errorf("inputq: need at least %d slots", batches)
+	}
+	if cfg.Discipline != InputQueued && cfg.Discipline != OutputQueued {
+		return nil, fmt.Errorf("inputq: unknown discipline %v", cfg.Discipline)
+	}
+	queueCap := cfg.QueueCap
+	if queueCap == 0 {
+		queueCap = 1_000_000
+	}
+	if queueCap < 1 {
+		return nil, fmt.Errorf("inputq: queue capacity %d", cfg.QueueCap)
+	}
+
+	stream := rng.NewStream(cfg.Seed)
+	n := cfg.N
+	// queues[i] is input i's FIFO (input-queued) or output i's FIFO
+	// (output-queued).
+	queues := make([][]cell, n)
+	perBatch := cfg.Slots / batches
+	var thB []float64
+	var delivered, dropped int64
+	var delaySum float64
+	winners := make([]int, n) // output -> granted input (input-queued)
+	contend := make([]int, n) // output -> number of HOL requesters
+	for b := 0; b < batches; b++ {
+		var batchDelivered int64
+		for s := 0; s < perBatch; s++ {
+			slot := b*perBatch + s
+			// Arrivals.
+			for i := 0; i < n; i++ {
+				if stream.Float64() >= cfg.Load {
+					continue
+				}
+				dst := stream.Intn(n)
+				q := i
+				if cfg.Discipline == OutputQueued {
+					q = dst
+				}
+				if len(queues[q]) >= queueCap {
+					dropped++
+					continue
+				}
+				queues[q] = append(queues[q], cell{dst: dst, arrived: slot})
+			}
+			// Service.
+			switch cfg.Discipline {
+			case OutputQueued:
+				for j := 0; j < n; j++ {
+					if len(queues[j]) == 0 {
+						continue
+					}
+					c := queues[j][0]
+					queues[j] = queues[j][1:]
+					delivered++
+					batchDelivered++
+					delaySum += float64(slot - c.arrived)
+				}
+			case InputQueued:
+				// HOL contention: each non-empty input requests its
+				// head cell's output; each output grants one uniformly
+				// random requester (resolved by reservoir sampling).
+				for j := 0; j < n; j++ {
+					winners[j] = -1
+					contend[j] = 0
+				}
+				for i := 0; i < n; i++ {
+					if len(queues[i]) == 0 {
+						continue
+					}
+					dst := queues[i][0].dst
+					contend[dst]++
+					if stream.Intn(contend[dst]) == 0 {
+						winners[dst] = i
+					}
+				}
+				for j := 0; j < n; j++ {
+					i := winners[j]
+					if i < 0 {
+						continue
+					}
+					c := queues[i][0]
+					queues[i] = queues[i][1:]
+					delivered++
+					batchDelivered++
+					delaySum += float64(slot - c.arrived)
+				}
+			}
+		}
+		thB = append(thB, float64(batchDelivered)/float64(perBatch)/float64(n))
+	}
+	res := &Result{
+		Throughput: stats.BatchMeans(thB, 0.95),
+		Dropped:    dropped,
+		Delivered:  delivered,
+	}
+	if delivered > 0 {
+		res.MeanDelay = delaySum / float64(delivered)
+	}
+	return res, nil
+}
+
+// SaturationThroughput measures the saturation throughput: every input
+// always has a cell (load 1, unbounded queues are irrelevant — the
+// queue never empties), so the delivered rate is purely the fabric's
+// contention limit.
+func SaturationThroughput(n, slots int, d Discipline, seed uint64) (stats.CI, error) {
+	res, err := Run(Config{N: n, Load: 1, Discipline: d, Slots: slots, Seed: seed})
+	if err != nil {
+		return stats.CI{}, err
+	}
+	return res.Throughput, nil
+}

@@ -1,0 +1,162 @@
+package inputq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSaturationConstant(t *testing.T) {
+	if got := SaturationHOL(); math.Abs(got-0.5857864376269049) > 1e-15 {
+		t.Errorf("2 - sqrt(2) = %v", got)
+	}
+}
+
+// TestHOLSaturationKnownValues: the simulator reproduces the classical
+// Karol-Hluchyj-Morgan saturation throughputs: 0.75 at N=2, falling
+// monotonically toward 2 - sqrt(2) for large N.
+func TestHOLSaturationKnownValues(t *testing.T) {
+	known := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1.0},
+		{2, 0.75},
+		{4, 0.6553},
+		{8, 0.6184},
+	}
+	prev := 1.1
+	for _, c := range known {
+		ci, err := SaturationThroughput(c.n, 60000, InputQueued, uint64(c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ci.Mean-c.want) > 2*ci.HalfWidth+0.01 {
+			t.Errorf("N=%d: saturation %v, classical %v", c.n, ci, c.want)
+		}
+		if ci.Mean >= prev {
+			t.Errorf("N=%d: saturation %v not decreasing", c.n, ci.Mean)
+		}
+		prev = ci.Mean
+	}
+	// Large N approaches the 0.586 limit.
+	ci, err := SaturationThroughput(64, 30000, InputQueued, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci.Mean-SaturationHOL()) > 0.02 {
+		t.Errorf("N=64 saturation %v, want ~%v", ci.Mean, SaturationHOL())
+	}
+}
+
+// TestOutputQueuedIsWorkConserving: output queueing saturates at
+// throughput ~1 and beats input queueing at every load above the HOL
+// limit.
+func TestOutputQueuedIsWorkConserving(t *testing.T) {
+	ci, err := SaturationThroughput(16, 40000, OutputQueued, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Mean < 0.95 {
+		t.Errorf("output-queued saturation %v, want ~1", ci)
+	}
+	iq, err := Run(Config{N: 16, Load: 0.8, Discipline: InputQueued, Slots: 40000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oq, err := Run(Config{N: 16, Load: 0.8, Discipline: OutputQueued, Slots: 40000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iq.Throughput.Mean >= oq.Throughput.Mean {
+		t.Errorf("at load 0.8 > HOL limit, input-queued %v should trail output-queued %v",
+			iq.Throughput.Mean, oq.Throughput.Mean)
+	}
+	// Output queued carries the full offered load below saturation.
+	if math.Abs(oq.Throughput.Mean-0.8) > 2*oq.Throughput.HalfWidth+0.01 {
+		t.Errorf("output-queued throughput %v, want ~0.8", oq.Throughput)
+	}
+}
+
+// TestBelowHOLLimitBothCarryLoad: at load under 0.586 the input-queued
+// switch is stable and delivers the offered load with finite delay.
+func TestBelowHOLLimitBothCarryLoad(t *testing.T) {
+	for _, d := range []Discipline{InputQueued, OutputQueued} {
+		res, err := Run(Config{N: 16, Load: 0.5, Discipline: d, Slots: 40000, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Throughput.Mean-0.5) > 2*res.Throughput.HalfWidth+0.01 {
+			t.Errorf("%v: throughput %v, want ~0.5", d, res.Throughput)
+		}
+		if res.MeanDelay <= 0 || res.MeanDelay > 20 {
+			t.Errorf("%v: mean delay %v slots implausible", d, res.MeanDelay)
+		}
+		if res.Dropped != 0 {
+			t.Errorf("%v: %d drops with effectively infinite queues", d, res.Dropped)
+		}
+	}
+}
+
+// TestDelayOrdering: input queueing suffers more delay than output
+// queueing at the same moderate load (HOL blocking adds waiting).
+func TestDelayOrdering(t *testing.T) {
+	iq, err := Run(Config{N: 16, Load: 0.55, Discipline: InputQueued, Slots: 60000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oq, err := Run(Config{N: 16, Load: 0.55, Discipline: OutputQueued, Slots: 60000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iq.MeanDelay <= oq.MeanDelay {
+		t.Errorf("input-queued delay %v should exceed output-queued %v", iq.MeanDelay, oq.MeanDelay)
+	}
+}
+
+// TestQueueCapDrops: a tiny queue capacity produces drops at high load.
+func TestQueueCapDrops(t *testing.T) {
+	res, err := Run(Config{N: 8, Load: 0.9, Discipline: InputQueued,
+		Slots: 20000, QueueCap: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("expected drops with QueueCap = 2 at load 0.9")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, Load: 0.5, Slots: 100},
+		{N: 4, Load: 1.5, Slots: 100},
+		{N: 4, Load: 0.5, Slots: 5},
+		{N: 4, Load: 0.5, Slots: 100, Discipline: Discipline(7)},
+		{N: 4, Load: 0.5, Slots: 100, QueueCap: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if InputQueued.String() != "input-queued" || OutputQueued.String() != "output-queued" {
+		t.Error("discipline names wrong")
+	}
+	if Discipline(7).String() != "Discipline(7)" {
+		t.Error("unknown discipline name wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{N: 8, Load: 0.6, Discipline: InputQueued, Slots: 5000, Seed: 11}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.MeanDelay != b.MeanDelay {
+		t.Error("same seed diverged")
+	}
+}

@@ -1,0 +1,224 @@
+package ipp
+
+import (
+	"math"
+	"testing"
+
+	"xbar/internal/rng"
+)
+
+func TestSourceBasics(t *testing.T) {
+	s := Source{Lambda: 2, OnToOff: 0.5, OffToOn: 1.5}
+	if got, want := s.POn(), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("POn = %v, want %v", got, want)
+	}
+	if got, want := s.MeanRate(), 1.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanRate = %v, want %v", got, want)
+	}
+	if z := s.Peakedness(1); z <= 1 {
+		t.Errorf("IPP peakedness %v, must exceed 1", z)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Source{Lambda: 0, OnToOff: 1, OffToOn: 1}).Validate(); err == nil {
+		t.Error("zero lambda accepted")
+	}
+}
+
+// TestPeakednessAgainstInfiniteServerSim validates the Kuczura
+// peakedness formula with a direct infinite-server simulation: busy
+// count mean and variance at stationarity.
+func TestPeakednessAgainstInfiniteServerSim(t *testing.T) {
+	s := Source{Lambda: 4, OnToOff: 0.8, OffToOn: 1.2}
+	const mu = 1.0
+	wantMean := s.MeanRate() / mu
+	wantZ := s.Peakedness(mu)
+
+	// Event-driven M(t)/M/inf: phase flips, arrivals while ON,
+	// exponential departures. Time-average busy count and its second
+	// moment.
+	stream := rng.NewStream(5)
+	on := true
+	busy := 0
+	var deps []float64 // departure times, scanned linearly (small k)
+	nextFlip := stream.Exp(s.OnToOff)
+	nextArr := stream.Exp(s.Lambda)
+	now := 0.0
+	const horizon = 300000.0
+	var area, area2, measured float64
+	const warmup = 1000.0
+	for now < horizon {
+		t := nextFlip
+		kind := 0
+		if on && nextArr < t {
+			t, kind = nextArr, 1
+		}
+		// earliest departure
+		di := -1
+		for i, d := range deps {
+			if d < t {
+				t, kind, di = d, 2, i
+			}
+		}
+		if t > horizon {
+			t = horizon
+			kind = -1
+		}
+		if now >= warmup {
+			dt := t - now
+			area += float64(busy) * dt
+			area2 += float64(busy) * float64(busy) * dt
+			measured += dt
+		}
+		now = t
+		switch kind {
+		case -1:
+		case 0:
+			on = !on
+			if on {
+				nextFlip = now + stream.Exp(s.OnToOff)
+				nextArr = now + stream.Exp(s.Lambda)
+			} else {
+				nextFlip = now + stream.Exp(s.OffToOn)
+				nextArr = math.Inf(1)
+			}
+		case 1:
+			nextArr = now + stream.Exp(s.Lambda)
+			busy++
+			deps = append(deps, now+stream.Exp(mu))
+		case 2:
+			deps[di] = deps[len(deps)-1]
+			deps = deps[:len(deps)-1]
+			busy--
+		}
+	}
+	mean := area / measured
+	variance := area2/measured - mean*mean
+	z := variance / mean
+	if math.Abs(mean-wantMean) > 0.03*wantMean {
+		t.Errorf("infinite-server mean %v, formula %v", mean, wantMean)
+	}
+	if math.Abs(z-wantZ) > 0.05*wantZ {
+		t.Errorf("infinite-server peakedness %v, formula %v", z, wantZ)
+	}
+}
+
+func TestDesignRoundTrip(t *testing.T) {
+	for _, c := range []struct{ m, z float64 }{{1, 1.3}, {2, 1.8}, {0.5, 1.2}} {
+		s, err := Design(c.m, c.z, 1)
+		if err != nil {
+			t.Fatalf("Design(%v, %v): %v", c.m, c.z, err)
+		}
+		if got := s.MeanRate(); math.Abs(got-c.m) > 1e-9 {
+			t.Errorf("Design(%v, %v): mean rate %v", c.m, c.z, got)
+		}
+		if got := s.Peakedness(1); math.Abs(got-c.z) > 1e-9 {
+			t.Errorf("Design(%v, %v): peakedness %v", c.m, c.z, got)
+		}
+	}
+	if _, err := Design(1, 3, 1); err == nil {
+		t.Error("unreachable z accepted")
+	}
+	if _, err := Design(1, 0.5, 1); err == nil {
+		t.Error("z <= 1 accepted")
+	}
+}
+
+func TestFitBPPMatchesMoments(t *testing.T) {
+	s := Source{Lambda: 3, OnToOff: 1, OffToOn: 1}
+	b, err := s.FitBPP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Mean()-s.MeanRate()) > 1e-9 {
+		t.Errorf("fitted mean %v, want %v", b.Mean(), s.MeanRate())
+	}
+	if math.Abs(b.Peakedness()-s.Peakedness(1)) > 1e-9 {
+		t.Errorf("fitted Z %v, want %v", b.Peakedness(), s.Peakedness(1))
+	}
+}
+
+// TestBPPApproximationQuality is the experiment the BPP family exists
+// for: blocking of a crossbar under a genuine on/off bursty source vs
+// the product-form model with moment-matched BPP traffic. The
+// approximation should land within a few percent on time congestion.
+func TestBPPApproximationQuality(t *testing.T) {
+	src, err := Design(1.5, 1.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	approx, err := BPPApprox(n, n, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateCrossbar(n, n, src, 1, SimConfig{Seed: 9, Warmup: 5000, Horizon: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB := 1 - res.TimeNonBlocking.Mean
+	if rel := math.Abs(simB-approx.Blocking[0]) / approx.Blocking[0]; rel > 0.10 {
+		t.Errorf("BPP approximation off by %.1f%%: sim %v vs BPP %v",
+			rel*100, simB, approx.Blocking[0])
+	}
+	if math.Abs(res.Concurrency.Mean-approx.Concurrency[0]) > 0.1*approx.Concurrency[0] {
+		t.Errorf("concurrency: sim %v vs BPP %v", res.Concurrency.Mean, approx.Concurrency[0])
+	}
+	if res.Offered == 0 {
+		t.Error("no offered traffic")
+	}
+}
+
+// TestSimulateCrossbarPoissonLimit: with a nearly always-ON source the
+// IPP degenerates to Poisson and must match the product form tightly.
+func TestSimulateCrossbarPoissonLimit(t *testing.T) {
+	src := Source{Lambda: 1.01, OnToOff: 0.01, OffToOn: 1000}
+	// P(on) ~ 0.99999, mean rate ~ 1.01 -> ~Poisson(1.01).
+	approx, err := BPPApprox(5, 5, src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateCrossbar(5, 5, src, 1, SimConfig{Seed: 2, Warmup: 2000, Horizon: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB := 1 - res.TimeNonBlocking.Mean
+	if math.Abs(simB-approx.Blocking[0]) > 2*res.TimeNonBlocking.HalfWidth+0.01*approx.Blocking[0] {
+		t.Errorf("Poisson limit: sim %v vs analytic %v", simB, approx.Blocking[0])
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	good := Source{Lambda: 1, OnToOff: 1, OffToOn: 1}
+	if _, err := SimulateCrossbar(0, 4, good, 1, SimConfig{Horizon: 10}); err == nil {
+		t.Error("bad dims accepted")
+	}
+	if _, err := SimulateCrossbar(4, 4, good, 0, SimConfig{Horizon: 10}); err == nil {
+		t.Error("bad mu accepted")
+	}
+	if _, err := SimulateCrossbar(4, 4, good, 1, SimConfig{Horizon: 0}); err == nil {
+		t.Error("bad horizon accepted")
+	}
+	if _, err := SimulateCrossbar(4, 4, good, 1, SimConfig{Horizon: 10, Batches: 1}); err == nil {
+		t.Error("single batch accepted")
+	}
+	if _, err := SimulateCrossbar(4, 4, Source{}, 1, SimConfig{Horizon: 10}); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestCallCongestionExceedsTimeCongestion(t *testing.T) {
+	src, err := Design(1.5, 1.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateCrossbar(5, 5, src, 1, SimConfig{Seed: 3, Warmup: 3000, Horizon: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CallBlocking.Mean <= 1-res.TimeNonBlocking.Mean {
+		t.Errorf("bursty arrivals should see more blocking: call %v vs time %v",
+			res.CallBlocking.Mean, 1-res.TimeNonBlocking.Mean)
+	}
+}

@@ -1,0 +1,310 @@
+// Package link implements classical single-resource loss models — the
+// Erlang-B formula, the Kaufman-Roberts multirate recursion, and a
+// BPP multirate link in the spirit of Delbrouck [11] — as baselines
+// for the crossbar.
+//
+// A link has C capacity units shared by R classes; a class-r call
+// seizes a_r units for an exponential (insensitive) holding time, and
+// blocked calls are cleared. The crossbar differs in that a class-r
+// connection must find a_r idle units on BOTH coordinates (inputs and
+// outputs) of a two-dimensional resource; comparing the two quantifies
+// what the paper's 2-D Psi term contributes (the "baselines" ablation
+// in EXPERIMENTS.md).
+package link
+
+import (
+	"fmt"
+
+	"xbar/internal/combin"
+	"xbar/internal/core"
+	"xbar/internal/scale"
+)
+
+// ErlangB returns the Erlang-B blocking probability for a link of c
+// circuits offered load rho (erlangs), via the numerically stable
+// recursion B(0) = 1, B(n) = rho B(n-1) / (n + rho B(n-1)).
+func ErlangB(c int, rho float64) float64 {
+	if c < 0 {
+		panic(fmt.Sprintf("link: ErlangB(%d)", c))
+	}
+	if rho < 0 {
+		panic(fmt.Sprintf("link: ErlangB rho = %v", rho))
+	}
+	b := 1.0
+	for n := 1; n <= c; n++ {
+		b = rho * b / (float64(n) + rho*b)
+	}
+	return b
+}
+
+// Class is one traffic class offered to a link, in the same BPP
+// parameterization as the crossbar model: arrival intensity
+// alpha + beta*k when k class calls are up, per-call service rate mu,
+// bandwidth a capacity units.
+type Class struct {
+	Name  string
+	A     int
+	Alpha float64
+	Beta  float64
+	Mu    float64
+}
+
+// Link is a C-unit multirate loss link.
+type Link struct {
+	C       int
+	Classes []Class
+}
+
+// Validate checks structural constraints.
+func (l Link) Validate() error {
+	if l.C < 1 {
+		return fmt.Errorf("link: capacity %d, must be >= 1", l.C)
+	}
+	if len(l.Classes) == 0 {
+		return fmt.Errorf("link: no traffic classes")
+	}
+	for i, c := range l.Classes {
+		if c.A < 1 {
+			return fmt.Errorf("link: class %d: a = %d", i, c.A)
+		}
+		if c.Alpha <= 0 || c.Mu <= 0 {
+			return fmt.Errorf("link: class %d: alpha = %v, mu = %v", i, c.Alpha, c.Mu)
+		}
+		if c.Beta/c.Mu >= 1 {
+			return fmt.Errorf("link: class %d: beta/mu = %v >= 1", i, c.Beta/c.Mu)
+		}
+	}
+	return nil
+}
+
+// Result holds per-class link measures.
+type Result struct {
+	Link Link
+	// Blocking is the time congestion per class: the probability fewer
+	// than a_r units are free.
+	Blocking []float64
+	// Concurrency is the mean number of class calls in progress.
+	Concurrency []float64
+	// Occupancy[s] = P(s units busy).
+	Occupancy []float64
+}
+
+// Solve evaluates the link exactly by per-class convolution over the
+// occupancy axis (the same machinery as the crossbar's convolution
+// evaluator with the Psi term set to 1).
+func Solve(l Link) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	// Per-class weights w_r(j) = prod_{l=1..j} lambda(l-1)/(l mu).
+	weights := make([][]scale.Number, len(l.Classes))
+	for r, c := range l.Classes {
+		max := l.C / c.A
+		w := make([]scale.Number, max+1)
+		w[0] = scale.One
+		for j := 1; j <= max; j++ {
+			rate := c.Alpha + c.Beta*float64(j-1)
+			if rate < 0 {
+				rate = 0
+			}
+			w[j] = w[j-1].MulFloat(rate / (float64(j) * c.Mu))
+		}
+		weights[r] = w
+	}
+	full := convolve(weights, l, -1)
+	g := scale.Zero
+	for _, v := range full {
+		g = g.Add(v)
+	}
+	res := &Result{
+		Link:        l,
+		Blocking:    make([]float64, len(l.Classes)),
+		Concurrency: make([]float64, len(l.Classes)),
+		Occupancy:   make([]float64, l.C+1),
+	}
+	for s, v := range full {
+		res.Occupancy[s] = v.Ratio(g)
+	}
+	for r, c := range l.Classes {
+		// Blocking: occupancy above C - a_r.
+		blocked := 0.0
+		for s := l.C - c.A + 1; s <= l.C; s++ {
+			if s >= 0 {
+				blocked += res.Occupancy[s]
+			}
+		}
+		res.Blocking[r] = blocked
+		// Concurrency via the leave-one-out convolution.
+		rest := convolve(weights, l, r)
+		num := scale.Zero
+		for j := 1; j <= l.C/c.A; j++ {
+			jw := weights[r][j].MulFloat(float64(j))
+			for s := j * c.A; s <= l.C; s++ {
+				other := rest[s-j*c.A]
+				if other.IsZero() {
+					continue
+				}
+				num = num.Add(jw.Mul(other))
+			}
+		}
+		res.Concurrency[r] = num.Ratio(g)
+	}
+	return res, nil
+}
+
+// convolve folds every class's weights except skip onto the occupancy
+// axis 0..C.
+func convolve(weights [][]scale.Number, l Link, skip int) []scale.Number {
+	g := make([]scale.Number, l.C+1)
+	g[0] = scale.One
+	for r := range l.Classes {
+		if r == skip {
+			continue
+		}
+		a := l.Classes[r].A
+		out := make([]scale.Number, l.C+1)
+		for s := 0; s <= l.C; s++ {
+			if g[s].IsZero() {
+				continue
+			}
+			for j := 0; j < len(weights[r]) && s+j*a <= l.C; j++ {
+				if weights[r][j].IsZero() {
+					continue
+				}
+				out[s+j*a] = out[s+j*a].Add(g[s].Mul(weights[r][j]))
+			}
+		}
+		g = out
+	}
+	return g
+}
+
+// KaufmanRoberts computes the occupancy distribution of a multirate
+// link with Poisson classes by the classical recursion
+//
+//	s q(s) = sum_r a_r rho_r q(s - a_r),
+//
+// returning the normalized occupancy and per-class blocking. It must
+// agree with Solve when every beta is zero; the recursion does not
+// extend to beta != 0 (that is Delbrouck's extension, which Solve
+// subsumes via convolution).
+func KaufmanRoberts(c int, a []int, rho []float64) (occupancy []float64, blocking []float64, err error) {
+	if len(a) != len(rho) {
+		return nil, nil, fmt.Errorf("link: %d bandwidths, %d loads", len(a), len(rho))
+	}
+	if c < 1 {
+		return nil, nil, fmt.Errorf("link: capacity %d", c)
+	}
+	q := make([]float64, c+1)
+	q[0] = 1
+	for s := 1; s <= c; s++ {
+		for r := range a {
+			if s-a[r] >= 0 {
+				q[s] += float64(a[r]) * rho[r] * q[s-a[r]]
+			}
+		}
+		q[s] /= float64(s)
+	}
+	total := 0.0
+	for _, v := range q {
+		total += v
+	}
+	occupancy = make([]float64, c+1)
+	for s, v := range q {
+		occupancy[s] = v / total
+	}
+	blocking = make([]float64, len(a))
+	for r := range a {
+		for s := c - a[r] + 1; s <= c; s++ {
+			if s >= 0 {
+				blocking[r] += occupancy[s]
+			}
+		}
+	}
+	return occupancy, blocking, nil
+}
+
+// Delbrouck computes the occupancy distribution and per-class blocking
+// of a BPP multirate link by Delbrouck's recursion [11] — the 1-D
+// ancestor of the paper's Algorithm 1, with the same auxiliary
+// geometric sums handled by a diagonal V-recursion:
+//
+//	s g(s) = sum_{r Poisson} a_r rho_r g(s - a_r)
+//	       + sum_{r bursty}  a_r rho_r V_r(s),
+//	V_r(s) = g(s - a_r) + (beta_r/mu_r) V_r(s - a_r).
+//
+// It must agree with the convolution evaluator Solve; for all-Poisson
+// classes it reduces to Kaufman-Roberts.
+func Delbrouck(l Link) (occupancy []float64, blocking []float64, err error) {
+	if err := l.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := make([]float64, l.C+1)
+	v := make([][]float64, len(l.Classes))
+	for r := range v {
+		v[r] = make([]float64, l.C+1)
+	}
+	g[0] = 1
+	for s := 1; s <= l.C; s++ {
+		for r, c := range l.Classes {
+			if s-c.A >= 0 {
+				v[r][s] = g[s-c.A] + c.Beta/c.Mu*v[r][s-c.A]
+			}
+		}
+		acc := 0.0
+		for r, c := range l.Classes {
+			if s-c.A < 0 {
+				continue
+			}
+			rho := c.Alpha / c.Mu
+			if c.Beta == 0 {
+				acc += float64(c.A) * rho * g[s-c.A]
+			} else {
+				acc += float64(c.A) * rho * v[r][s]
+			}
+		}
+		g[s] = acc / float64(s)
+	}
+	total := 0.0
+	for _, w := range g {
+		total += w
+	}
+	occupancy = make([]float64, l.C+1)
+	for s, w := range g {
+		occupancy[s] = w / total
+	}
+	blocking = make([]float64, len(l.Classes))
+	for r, c := range l.Classes {
+		for s := l.C - c.A + 1; s <= l.C; s++ {
+			if s >= 0 {
+				blocking[r] += occupancy[s]
+			}
+		}
+	}
+	return occupancy, blocking, nil
+}
+
+// CrossbarEquivalent returns the C x C crossbar whose classes offer
+// the same TOTAL arrival intensity as this link's classes, spread
+// uniformly over all ordered routes: per-route alpha_r =
+// Alpha_r / (P(C,a_r))^2. This is the honest 1-D vs 2-D baseline: the
+// link pools all C circuits for any arrival, while a crossbar request
+// names a specific set of inputs and outputs and blocks whenever any
+// of those particular ports is busy. At equal carried load the
+// crossbar's specific-route blocking is dominated by endpoint (port)
+// contention — roughly 2 a_r x port utilization — and sits orders of
+// magnitude above the pooled link's Erlang blocking. That gap is the
+// cost of dedicating endpoints, quantified.
+func (l Link) CrossbarEquivalent() core.Switch {
+	classes := make([]core.Class, len(l.Classes))
+	for i, c := range l.Classes {
+		routes := combin.Perm(l.C, c.A) * combin.Perm(l.C, c.A)
+		classes[i] = core.Class{
+			Name: c.Name, A: c.A,
+			Alpha: c.Alpha / routes,
+			Beta:  c.Beta / routes,
+			Mu:    c.Mu,
+		}
+	}
+	return core.Switch{N1: l.C, N2: l.C, Classes: classes}
+}

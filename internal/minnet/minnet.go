@@ -1,0 +1,194 @@
+// Package minnet implements the multistage interconnection network
+// (MIN) the paper's introduction positions crossbars against: an
+// N x N omega (shuffle-exchange delta) network built from log2(N)
+// stages of 2x2 crossbars, O(N log N) switching elements against the
+// crossbar's O(N^2).
+//
+// Two evaluations are provided:
+//
+//   - Recursion: Patel's stage-by-stage analysis for uniform traffic,
+//     p_{i+1} = 1 - (1 - p_i/2)^2, an independence approximation that
+//     slightly overestimates throughput for deeper networks;
+//   - Simulate: an exact slot-level simulation of the omega topology
+//     with destination-tag routing and random conflict resolution.
+//
+// The comparison with the single-stage crossbar (internal/slotted)
+// reproduces the introduction's trade-off: the MIN saves hardware but
+// loses throughput to internal blocking.
+package minnet
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/rng"
+	"xbar/internal/stats"
+)
+
+// Stages returns log2(n), rejecting non-powers of two.
+func Stages(n int) (int, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("minnet: network size %d, need a power of two >= 2", n)
+	}
+	s := 0
+	for v := n; v > 1; v >>= 1 {
+		if v&1 == 1 {
+			return 0, fmt.Errorf("minnet: network size %d is not a power of two", n)
+		}
+		s++
+	}
+	return s, nil
+}
+
+// Recursion returns Patel's analytic per-output throughput of an
+// N x N omega network of 2x2 switches with per-input load p:
+// the load recursion applied once per stage.
+func Recursion(n int, p float64) (float64, error) {
+	stages, err := Stages(n)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("minnet: load %v outside [0,1]", p)
+	}
+	for i := 0; i < stages; i++ {
+		p = 1 - (1-p/2)*(1-p/2)
+	}
+	return p, nil
+}
+
+// shuffle is the perfect-shuffle permutation on log2(n)-bit indices:
+// rotate left one bit.
+func shuffle(x, n int) int {
+	msb := n >> 1
+	return ((x &^ msb) << 1) | (x&msb)>>(bitsOf(n)-1)
+}
+
+func bitsOf(n int) int {
+	b := 0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Result summarizes a MIN simulation.
+type Result struct {
+	// PerOutput is the measured per-output throughput.
+	PerOutput stats.CI
+	// Delivered counts packets that reached their destination.
+	Delivered int64
+	// Offered counts generated packets.
+	Offered int64
+}
+
+// Simulate runs the omega network at slot level: each slot, each input
+// generates a packet with probability p to a uniform destination;
+// packets route by destination tag (most significant bit first); when
+// two packets at a 2x2 switch want the same output, a uniformly random
+// one survives. Returns measured throughput with confidence intervals.
+func Simulate(n int, p float64, slots int, seed uint64) (*Result, error) {
+	stages, err := Stages(n)
+	if err != nil {
+		return nil, err
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("minnet: load %v outside [0,1]", p)
+	}
+	const batches = 20
+	if slots < batches {
+		return nil, fmt.Errorf("minnet: need at least %d slots, got %d", batches, slots)
+	}
+	stream := rng.NewStream(seed)
+	perBatch := slots / batches
+
+	// cur[link] = destination of the packet on that link, or -1.
+	cur := make([]int, n)
+	next := make([]int, n)
+	var outB []float64
+	var delivered, offered int64
+	for b := 0; b < batches; b++ {
+		var batchDelivered int64
+		for s := 0; s < perBatch; s++ {
+			for i := range cur {
+				cur[i] = -1
+				if stream.Float64() < p {
+					cur[i] = stream.Intn(n)
+					offered++
+				}
+			}
+			for st := 0; st < stages; st++ {
+				// Perfect shuffle of link positions.
+				for i := range next {
+					next[i] = -1
+				}
+				for i, d := range cur {
+					if d >= 0 {
+						next[shuffle(i, n)] = d
+					}
+				}
+				cur, next = next, cur
+				// Each pair (2j, 2j+1) passes a 2x2 switch; route by
+				// the stage's destination bit.
+				bit := uint(stages - 1 - st)
+				for j := 0; j < n/2; j++ {
+					a, c := cur[2*j], cur[2*j+1]
+					var outA, outC int
+					if a >= 0 {
+						outA = int((a >> bit) & 1)
+					}
+					if c >= 0 {
+						outC = int((c >> bit) & 1)
+					}
+					switch {
+					case a >= 0 && c >= 0 && outA == outC:
+						// Conflict: random winner.
+						if stream.Float64() < 0.5 {
+							c = -1
+						} else {
+							a = -1
+						}
+					}
+					cur[2*j], cur[2*j+1] = -1, -1
+					if a >= 0 {
+						cur[2*j+outA] = a
+					}
+					if c >= 0 {
+						cur[2*j+outC] = c
+					}
+				}
+			}
+			for i, d := range cur {
+				if d >= 0 {
+					if d != i {
+						return nil, fmt.Errorf("minnet: packet for %d delivered to %d (routing bug)", d, i)
+					}
+					batchDelivered++
+				}
+			}
+		}
+		delivered += batchDelivered
+		outB = append(outB, float64(batchDelivered)/float64(perBatch)/float64(n))
+	}
+	return &Result{
+		PerOutput: stats.BatchMeans(outB, 0.95),
+		Delivered: delivered,
+		Offered:   offered,
+	}, nil
+}
+
+// CrossbarAdvantage returns the ratio of single-stage crossbar
+// throughput (1 - (1 - p/n)^n) to the MIN recursion throughput at the
+// same size and load — the quantitative version of the introduction's
+// argument for building large optical crossbars.
+func CrossbarAdvantage(n int, p float64) (float64, error) {
+	minT, err := Recursion(n, p)
+	if err != nil {
+		return 0, err
+	}
+	if minT == 0 {
+		return math.Inf(1), nil
+	}
+	xbarT := 1 - math.Pow(1-p/float64(n), float64(n))
+	return xbarT / minT, nil
+}

@@ -1,0 +1,426 @@
+// Package network models the application domain of the paper's
+// introduction: an all-optical circuit-switching network whose
+// intermediate nodes are asynchronous, unbuffered crossbars and whose
+// routing decisions live entirely at the periphery (source routing).
+// A connection request names its whole path; at each hop it must seize
+// one idle input and one idle output of that hop's crossbar, the setup
+// is atomic, and a request that finds any hop busy is cleared
+// end-to-end — exactly the blocked-calls-cleared discipline of the
+// single-switch model, lifted to a path.
+//
+// Two evaluations are provided:
+//
+//   - FixedPoint: the reduced-load (Erlang fixed point) approximation
+//     in the tradition of Kelly [20]: each switch sees the Poisson
+//     load of its routes thinned by the blocking of the other hops,
+//     and per-switch blocking comes from the single-switch analytical
+//     model (internal/core);
+//   - Simulate: an exact event-driven simulation of the whole network.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/combin"
+	"xbar/internal/core"
+	"xbar/internal/eventq"
+	"xbar/internal/rng"
+	"xbar/internal/stats"
+)
+
+// Dim gives one crossbar's dimensions.
+type Dim struct{ N1, N2 int }
+
+// Route is a source-routed path with Poisson connection arrivals.
+type Route struct {
+	Name string
+	// Path lists the switch indices traversed, in order.
+	Path []int
+	// Rate is the Poisson arrival rate of connection requests.
+	Rate float64
+	// Mu is the service rate; holding time is exponential with mean
+	// 1/Mu (insensitivity extends to general distributions).
+	Mu float64
+	// Bandwidth is the multi-rate requirement a_r: the number of
+	// inputs and outputs seized at EVERY hop. Zero means 1.
+	Bandwidth int
+}
+
+// bw returns the effective bandwidth (zero value means one).
+func (r Route) bw() int {
+	if r.Bandwidth == 0 {
+		return 1
+	}
+	return r.Bandwidth
+}
+
+// Network is a set of crossbar switches and the routes over them.
+type Network struct {
+	Switches []Dim
+	Routes   []Route
+}
+
+// Validate checks structural constraints.
+func (n Network) Validate() error {
+	if len(n.Switches) == 0 {
+		return fmt.Errorf("network: no switches")
+	}
+	for i, d := range n.Switches {
+		if d.N1 < 1 || d.N2 < 1 {
+			return fmt.Errorf("network: switch %d is %dx%d", i, d.N1, d.N2)
+		}
+	}
+	if len(n.Routes) == 0 {
+		return fmt.Errorf("network: no routes")
+	}
+	for i, r := range n.Routes {
+		if len(r.Path) == 0 {
+			return fmt.Errorf("network: route %d has empty path", i)
+		}
+		for _, s := range r.Path {
+			if s < 0 || s >= len(n.Switches) {
+				return fmt.Errorf("network: route %d references switch %d of %d", i, s, len(n.Switches))
+			}
+		}
+		seen := make(map[int]bool)
+		for _, s := range r.Path {
+			if seen[s] {
+				return fmt.Errorf("network: route %d visits switch %d twice", i, s)
+			}
+			seen[s] = true
+		}
+		if r.Rate <= 0 || r.Mu <= 0 {
+			return fmt.Errorf("network: route %d: rate %v, mu %v", i, r.Rate, r.Mu)
+		}
+		if r.Bandwidth < 0 {
+			return fmt.Errorf("network: route %d: bandwidth %d", i, r.Bandwidth)
+		}
+		for _, s := range r.Path {
+			d := n.Switches[s]
+			if r.bw() > d.N1 || r.bw() > d.N2 {
+				return fmt.Errorf("network: route %d: bandwidth %d exceeds switch %d (%dx%d)",
+					i, r.bw(), s, d.N1, d.N2)
+			}
+		}
+	}
+	return nil
+}
+
+// FPResult is the fixed-point solution.
+type FPResult struct {
+	// SwitchBlocking[s] is the per-hop blocking of bandwidth-1 traffic
+	// at switch s under the reduced-load approximation (kept for the
+	// common single-rate case; see ClassBlocking for multi-rate).
+	SwitchBlocking []float64
+	// ClassBlocking[s][a] is the per-hop blocking of bandwidth-a
+	// traffic at switch s, for each bandwidth offered there.
+	ClassBlocking []map[int]float64
+	// RouteBlocking[i] = 1 - prod over hops of (1 - B_{s, a_i}).
+	RouteBlocking []float64
+	// SwitchLoad[s] is the thinned offered load (erlangs, in calls) at
+	// switch s.
+	SwitchLoad []float64
+	// Iterations taken to converge.
+	Iterations int
+}
+
+// FixedPoint solves the reduced-load approximation by successive
+// substitution. tol bounds the largest per-switch blocking change at
+// convergence; maxIter guards against oscillation.
+func FixedPoint(n Network, tol float64, maxIter int) (*FPResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("network: tolerance %v", tol)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("network: maxIter %d", maxIter)
+	}
+	nS := len(n.Switches)
+	// b[s][a] is the hop blocking of bandwidth-a traffic at switch s.
+	b := make([]map[int]float64, nS)
+	for s := range b {
+		b[s] = make(map[int]float64)
+	}
+	hopB := func(s, a int) float64 { return b[s][a] } // zero until solved
+	load := make([]float64, nS)
+	classLoad := make([]map[int]float64, nS)
+	var iter int
+	for iter = 1; iter <= maxIter; iter++ {
+		// Thinned offered loads, split by bandwidth class.
+		for s := range load {
+			load[s] = 0
+			classLoad[s] = make(map[int]float64)
+		}
+		for _, r := range n.Routes {
+			erl := r.Rate / r.Mu
+			a := r.bw()
+			for _, s := range r.Path {
+				thin := 1.0
+				for _, s2 := range r.Path {
+					if s2 != s {
+						thin *= 1 - hopB(s2, a)
+					}
+				}
+				load[s] += erl * thin
+				classLoad[s][a] += erl * thin
+			}
+		}
+		// Per-switch multi-class blocking from the single-switch model.
+		worst := 0.0
+		for s, d := range n.Switches {
+			newB, err := switchBlocking(d, classLoad[s])
+			if err != nil {
+				return nil, err
+			}
+			for a, nb := range newB {
+				if diff := math.Abs(nb - b[s][a]); diff > worst {
+					worst = diff
+				}
+			}
+			b[s] = newB
+		}
+		if worst < tol {
+			break
+		}
+	}
+	if iter > maxIter {
+		return nil, fmt.Errorf("network: fixed point did not converge in %d iterations", maxIter)
+	}
+	res := &FPResult{
+		SwitchBlocking: make([]float64, nS),
+		ClassBlocking:  b,
+		SwitchLoad:     load,
+		RouteBlocking:  make([]float64, len(n.Routes)),
+		Iterations:     iter,
+	}
+	for s := range b {
+		res.SwitchBlocking[s] = b[s][1]
+	}
+	for i, r := range n.Routes {
+		pass := 1.0
+		for _, s := range r.Path {
+			pass *= 1 - hopB(s, r.bw())
+		}
+		res.RouteBlocking[i] = 1 - pass
+	}
+	return res, nil
+}
+
+// switchBlocking evaluates one crossbar offered Poisson traffic split
+// into bandwidth classes (erlangs per class, spread uniformly over the
+// class's ordered routes), returning per-bandwidth hop blocking.
+func switchBlocking(d Dim, classErlangs map[int]float64) (map[int]float64, error) {
+	out := make(map[int]float64, len(classErlangs))
+	sw := core.Switch{N1: d.N1, N2: d.N2}
+	var order []int
+	for a, erl := range classErlangs {
+		if erl <= 0 {
+			out[a] = 0
+			continue
+		}
+		routes := combin.Perm(d.N1, a) * combin.Perm(d.N2, a)
+		sw.Classes = append(sw.Classes, core.Class{A: a, Alpha: erl / routes, Mu: 1})
+		order = append(order, a)
+	}
+	if len(sw.Classes) == 0 {
+		return out, nil
+	}
+	res, err := core.Solve(sw)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range order {
+		out[a] = res.Blocking[i]
+	}
+	return out, nil
+}
+
+// SimConfig parameterizes a network simulation.
+type SimConfig struct {
+	Seed    uint64
+	Warmup  float64
+	Horizon float64
+	Batches int
+}
+
+// SimResult reports simulated end-to-end measures.
+type SimResult struct {
+	// RouteBlocking[i] is the measured end-to-end blocking of route i
+	// (call congestion = time congestion by PASTA).
+	RouteBlocking []stats.CI
+	// Offered and Blocked count requests per route.
+	Offered, Blocked []int64
+	// Events is the number of processed events.
+	Events int64
+}
+
+type netDeparture struct {
+	route int
+	// ins[h]/outs[h] are the port sets held at hop h (bandwidth entries
+	// per hop).
+	ins, outs [][]int
+}
+
+// sampleDistinct fills out with a distinct uniform indices from [0, n)
+// by rejection (a << n in every sensible configuration).
+func sampleDistinct(stream *rng.Stream, n, a int, out []int) {
+	for i := 0; i < a; i++ {
+	redraw:
+		for {
+			v := stream.Intn(n)
+			for j := 0; j < i; j++ {
+				if out[j] == v {
+					continue redraw
+				}
+			}
+			out[i] = v
+			break
+		}
+	}
+}
+
+// Simulate runs the event-driven network simulation.
+func Simulate(n Network, cfg SimConfig) (*SimResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("network: horizon %v", cfg.Horizon)
+	}
+	batches := cfg.Batches
+	if batches == 0 {
+		batches = 20
+	}
+	if batches < 2 {
+		return nil, fmt.Errorf("network: need >= 2 batches")
+	}
+	stream := rng.NewStream(cfg.Seed)
+	busyIn := make([][]bool, len(n.Switches))
+	busyOut := make([][]bool, len(n.Switches))
+	for s, d := range n.Switches {
+		busyIn[s] = make([]bool, d.N1)
+		busyOut[s] = make([]bool, d.N2)
+	}
+	// Next Poisson arrival per route.
+	nextArr := make([]float64, len(n.Routes))
+	for i, r := range n.Routes {
+		nextArr[i] = stream.Exp(r.Rate)
+	}
+	var deps eventq.Queue[netDeparture]
+
+	start := cfg.Warmup
+	end := cfg.Warmup + cfg.Horizon
+	batchLen := cfg.Horizon / float64(batches)
+	offered := make([][]int64, len(n.Routes))
+	blocked := make([][]int64, len(n.Routes))
+	for i := range n.Routes {
+		offered[i] = make([]int64, batches)
+		blocked[i] = make([]int64, batches)
+	}
+	batchOf := func(t float64) int {
+		if t < start || t >= end {
+			return -1
+		}
+		b := int((t - start) / batchLen)
+		if b >= batches {
+			b = batches - 1
+		}
+		return b
+	}
+
+	var events int64
+	now := 0.0
+	for {
+		t := math.Inf(1)
+		kind := -1
+		for i := range nextArr {
+			if nextArr[i] < t {
+				t = nextArr[i]
+				kind = i
+			}
+		}
+		if at, ok := deps.PeekTime(); ok && at < t {
+			t = at
+			kind = -2
+		}
+		if t >= end {
+			break
+		}
+		now = t
+		events++
+		if kind == -2 {
+			_, d := deps.Pop()
+			r := n.Routes[d.route]
+			for h, s := range r.Path {
+				for _, p := range d.ins[h] {
+					busyIn[s][p] = false
+				}
+				for _, p := range d.outs[h] {
+					busyOut[s][p] = false
+				}
+			}
+			continue
+		}
+		// Arrival on route kind: seize bandwidth distinct inputs and
+		// outputs at every hop, atomically or not at all.
+		r := n.Routes[kind]
+		a := r.bw()
+		nextArr[kind] = now + stream.Exp(r.Rate)
+		if b := batchOf(now); b >= 0 {
+			offered[kind][b]++
+		}
+		ins := make([][]int, len(r.Path))
+		outs := make([][]int, len(r.Path))
+		ok := true
+		for h, s := range r.Path {
+			ins[h] = make([]int, a)
+			outs[h] = make([]int, a)
+			sampleDistinct(stream, n.Switches[s].N1, a, ins[h])
+			sampleDistinct(stream, n.Switches[s].N2, a, outs[h])
+			for i := 0; i < a; i++ {
+				if busyIn[s][ins[h][i]] || busyOut[s][outs[h][i]] {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			if b := batchOf(now); b >= 0 {
+				blocked[kind][b]++
+			}
+			continue
+		}
+		for h, s := range r.Path {
+			for i := 0; i < a; i++ {
+				busyIn[s][ins[h][i]] = true
+				busyOut[s][outs[h][i]] = true
+			}
+		}
+		deps.Push(now+stream.Exp(r.Mu), netDeparture{route: kind, ins: ins, outs: outs})
+	}
+
+	res := &SimResult{
+		RouteBlocking: make([]stats.CI, len(n.Routes)),
+		Offered:       make([]int64, len(n.Routes)),
+		Blocked:       make([]int64, len(n.Routes)),
+		Events:        events,
+	}
+	for i := range n.Routes {
+		var ratios []float64
+		for b := 0; b < batches; b++ {
+			res.Offered[i] += offered[i][b]
+			res.Blocked[i] += blocked[i][b]
+			if offered[i][b] > 0 {
+				ratios = append(ratios, float64(blocked[i][b])/float64(offered[i][b]))
+			}
+		}
+		if len(ratios) >= 2 {
+			res.RouteBlocking[i] = stats.BatchMeans(ratios, 0.95)
+		} else {
+			res.RouteBlocking[i] = stats.CI{Mean: math.NaN(), HalfWidth: math.Inf(1), Level: 0.95}
+		}
+	}
+	return res, nil
+}

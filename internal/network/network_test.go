@@ -1,0 +1,230 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"xbar/internal/core"
+)
+
+func TestValidation(t *testing.T) {
+	bad := []Network{
+		{},
+		{Switches: []Dim{{4, 4}}},
+		{Switches: []Dim{{0, 4}}, Routes: []Route{{Path: []int{0}, Rate: 1, Mu: 1}}},
+		{Switches: []Dim{{4, 4}}, Routes: []Route{{Path: []int{}, Rate: 1, Mu: 1}}},
+		{Switches: []Dim{{4, 4}}, Routes: []Route{{Path: []int{1}, Rate: 1, Mu: 1}}},
+		{Switches: []Dim{{4, 4}}, Routes: []Route{{Path: []int{0, 0}, Rate: 1, Mu: 1}}},
+		{Switches: []Dim{{4, 4}}, Routes: []Route{{Path: []int{0}, Rate: 0, Mu: 1}}},
+		{Switches: []Dim{{4, 4}}, Routes: []Route{{Path: []int{0}, Rate: 1, Mu: 0}}},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: invalid network accepted", i)
+		}
+	}
+}
+
+// TestSingleSwitchReducesToCore: a one-hop network is exactly the
+// single-switch model — the fixed point needs no approximation and the
+// simulator must agree with the analytics.
+func TestSingleSwitchReducesToCore(t *testing.T) {
+	net := Network{
+		Switches: []Dim{{4, 4}},
+		Routes:   []Route{{Name: "only", Path: []int{0}, Rate: 0.8, Mu: 1}},
+	}
+	fp, err := FixedPoint(net, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{{A: 1, Alpha: 0.8 / 16, Mu: 1}}}
+	want, err := core.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fp.RouteBlocking[0]-want.Blocking[0]) > 1e-10 {
+		t.Errorf("fixed point %v, analytic %v", fp.RouteBlocking[0], want.Blocking[0])
+	}
+	res, err := Simulate(net, SimConfig{Seed: 1, Warmup: 2000, Horizon: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := res.RouteBlocking[0]
+	if math.Abs(ci.Mean-want.Blocking[0]) > 2*ci.HalfWidth {
+		t.Errorf("simulated %v inconsistent with analytic %v", ci, want.Blocking[0])
+	}
+}
+
+func tandem() Network {
+	return Network{
+		Switches: []Dim{{4, 4}, {4, 4}, {4, 4}},
+		Routes: []Route{
+			{Name: "long", Path: []int{0, 1, 2}, Rate: 0.5, Mu: 1},
+			{Name: "left", Path: []int{0}, Rate: 0.6, Mu: 1},
+			{Name: "right", Path: []int{2}, Rate: 0.6, Mu: 1},
+		},
+	}
+}
+
+// TestFixedPointStructure: longer paths block more; hop loads reflect
+// thinning; iteration converges.
+func TestFixedPointStructure(t *testing.T) {
+	fp, err := FixedPoint(tandem(), 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Iterations < 2 {
+		t.Errorf("suspiciously fast convergence: %d iterations", fp.Iterations)
+	}
+	if !(fp.RouteBlocking[0] > fp.RouteBlocking[1]) {
+		t.Errorf("3-hop route blocking %v should exceed 1-hop %v",
+			fp.RouteBlocking[0], fp.RouteBlocking[1])
+	}
+	// Middle switch carries only the long route; edge switches carry
+	// more load.
+	if !(fp.SwitchLoad[1] < fp.SwitchLoad[0]) {
+		t.Errorf("middle load %v should be below edge load %v", fp.SwitchLoad[1], fp.SwitchLoad[0])
+	}
+	// Route blocking is the complement of the product of hop passes.
+	pass := 1.0
+	for _, s := range []int{0, 1, 2} {
+		pass *= 1 - fp.SwitchBlocking[s]
+	}
+	if math.Abs(fp.RouteBlocking[0]-(1-pass)) > 1e-12 {
+		t.Error("route blocking is not the product form of hop blockings")
+	}
+}
+
+// TestFixedPointMatchesSimulation: the reduced-load approximation
+// tracks the exact simulation at moderate load.
+func TestFixedPointMatchesSimulation(t *testing.T) {
+	net := tandem()
+	fp, err := FixedPoint(net, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(net, SimConfig{Seed: 5, Warmup: 5000, Horizon: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Routes {
+		ci := res.RouteBlocking[i]
+		// Allow CI width plus a 15% model error margin for the
+		// independence approximation.
+		if math.Abs(ci.Mean-fp.RouteBlocking[i]) > 2*ci.HalfWidth+0.15*fp.RouteBlocking[i] {
+			t.Errorf("route %d: simulated %v vs fixed point %v", i, ci, fp.RouteBlocking[i])
+		}
+	}
+}
+
+func TestFixedPointArgsValidation(t *testing.T) {
+	if _, err := FixedPoint(tandem(), 0, 10); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := FixedPoint(tandem(), 1e-10, 0); err == nil {
+		t.Error("zero maxIter accepted")
+	}
+	if _, err := FixedPoint(Network{}, 1e-10, 10); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(tandem(), SimConfig{Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Simulate(tandem(), SimConfig{Horizon: 10, Batches: 1}); err == nil {
+		t.Error("single batch accepted")
+	}
+	if _, err := Simulate(Network{}, SimConfig{Horizon: 10}); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	a, err := Simulate(tandem(), SimConfig{Seed: 9, Horizon: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(tandem(), SimConfig{Seed: 9, Horizon: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.Offered[0] != b.Offered[0] {
+		t.Error("same seed diverged")
+	}
+}
+
+// TestLoadIncreasesEndToEndBlocking: scaling all route rates up raises
+// every route's blocking.
+func TestLoadIncreasesEndToEndBlocking(t *testing.T) {
+	base := tandem()
+	hot := tandem()
+	for i := range hot.Routes {
+		hot.Routes[i].Rate *= 4
+	}
+	fpBase, err := FixedPoint(base, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpHot, err := FixedPoint(hot, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Routes {
+		if fpHot.RouteBlocking[i] <= fpBase.RouteBlocking[i] {
+			t.Errorf("route %d: blocking did not rise with load", i)
+		}
+	}
+}
+
+// TestMultirateRoutes: a bandwidth-2 route on the same path as a
+// bandwidth-1 route blocks more at every hop, and the multirate fixed
+// point tracks the exact simulation.
+func TestMultirateRoutes(t *testing.T) {
+	net := Network{
+		Switches: []Dim{{8, 8}, {8, 8}},
+		Routes: []Route{
+			{Name: "narrow", Path: []int{0, 1}, Rate: 1.2, Mu: 1},
+			{Name: "wide", Path: []int{0, 1}, Rate: 0.6, Mu: 1, Bandwidth: 2},
+			{Name: "edge", Path: []int{0}, Rate: 1.0, Mu: 1},
+		},
+	}
+	fp, err := FixedPoint(net, 1e-10, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fp.RouteBlocking[1] > fp.RouteBlocking[0]) {
+		t.Errorf("wide route blocking %v should exceed narrow %v",
+			fp.RouteBlocking[1], fp.RouteBlocking[0])
+	}
+	// Per-hop class blocking exists for both bandwidths at switch 0.
+	if fp.ClassBlocking[0][2] <= fp.ClassBlocking[0][1] {
+		t.Errorf("hop blocking a=2 (%v) should exceed a=1 (%v)",
+			fp.ClassBlocking[0][2], fp.ClassBlocking[0][1])
+	}
+	res, err := Simulate(net, SimConfig{Seed: 17, Warmup: 5000, Horizon: 120000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Routes {
+		ci := res.RouteBlocking[i]
+		if math.Abs(ci.Mean-fp.RouteBlocking[i]) > 2*ci.HalfWidth+0.2*fp.RouteBlocking[i] {
+			t.Errorf("route %d: simulated %v vs fixed point %v", i, ci, fp.RouteBlocking[i])
+		}
+	}
+}
+
+// TestBandwidthValidation: invalid bandwidths are rejected.
+func TestBandwidthValidation(t *testing.T) {
+	base := tandem()
+	base.Routes[0].Bandwidth = -1
+	if err := base.Validate(); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+	base = tandem()
+	base.Routes[0].Bandwidth = 5 // switches are 4x4
+	if err := base.Validate(); err == nil {
+		t.Error("bandwidth exceeding switch accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package overflow
+
+import (
+	"math"
+	"testing"
+
+	"xbar/internal/eventq"
+	"xbar/internal/link"
+	"xbar/internal/rng"
+)
+
+// TestRiordanBasics: overflow mean is a B(c,a); peakedness exceeds 1
+// and grows as the primary group shrinks at fixed load.
+func TestRiordanBasics(t *testing.T) {
+	const a = 8.0
+	for _, c := range []int{12, 8, 4} {
+		m, v := Riordan(c, a)
+		if wantM := a * link.ErlangB(c, a); math.Abs(m-wantM) > 1e-12 {
+			t.Errorf("c=%d: mean %v, want %v", c, m, wantM)
+		}
+		if z := v / m; z <= 1 {
+			t.Errorf("c=%d: overflow peakedness %v, must exceed 1", c, z)
+		}
+	}
+	// Degenerate group: everything overflows, so the overflow IS the
+	// original Poisson stream — mean a, peakedness exactly 1.
+	m0, v0 := Riordan(0, a)
+	if math.Abs(m0-a) > 1e-12 || math.Abs(v0/m0-1) > 1e-12 {
+		t.Errorf("c=0 overflow (m=%v, z=%v), want Poisson (m=%v, z=1)", m0, v0/m0, a)
+	}
+	// Peakedness is maximized at moderate blocking, not at the
+	// extremes.
+	_, vMid := Riordan(8, a)
+	mMid, _ := Riordan(8, a)
+	if vMid/mMid <= 1.1 {
+		t.Errorf("moderate-blocking overflow peakedness %v suspiciously low", vMid/mMid)
+	}
+}
+
+// TestRiordanAgainstSimulation validates the closed form with a direct
+// Erlang-group overflow simulation: Poisson arrivals on c servers,
+// blocked arrivals shadowed onto a virtual infinite server.
+func TestRiordanAgainstSimulation(t *testing.T) {
+	const (
+		c       = 6
+		a       = 5.0
+		mu      = 1.0
+		horizon = 300000.0
+	)
+	wantM, wantV := Riordan(c, a)
+
+	stream := rng.NewStream(3)
+	busy := 0
+	virtual := 0
+	var deps eventq.Queue[departure]
+	nextArr := stream.Exp(a * mu)
+	now := 0.0
+	var area, area2, measured float64
+	const warmup = 1000.0
+	for {
+		t := nextArr
+		isDep := false
+		if at, ok := deps.PeekTime(); ok && at < t {
+			t, isDep = at, true
+		}
+		if t >= horizon {
+			break
+		}
+		if t > warmup {
+			lo := math.Max(now, warmup)
+			dt := t - lo
+			if dt > 0 {
+				area += float64(virtual) * dt
+				area2 += float64(virtual) * float64(virtual) * dt
+				measured += dt
+			}
+		}
+		now = t
+		if isDep {
+			_, d := deps.Pop()
+			if d.stage == 2 {
+				virtual--
+			} else {
+				busy--
+			}
+			continue
+		}
+		nextArr = now + stream.Exp(a*mu)
+		if busy < c {
+			busy++
+			deps.Push(now+stream.Exp(mu), departure{stage: 0})
+		} else {
+			virtual++
+			deps.Push(now+stream.Exp(mu), departure{stage: 2})
+		}
+	}
+	mean := area / measured
+	variance := area2/measured - mean*mean
+	if math.Abs(mean-wantM) > 0.03*wantM {
+		t.Errorf("simulated overflow mean %v, Riordan %v", mean, wantM)
+	}
+	if math.Abs(variance-wantV) > 0.06*wantV {
+		t.Errorf("simulated overflow variance %v, Riordan %v", variance, wantV)
+	}
+}
+
+// TestCrossbarOverflowIsPeaky: the primary crossbar's overflow stream
+// has Z > 1 — the empirical fact Wilkinson built ERT on and the paper
+// built Pascal traffic on.
+func TestCrossbarOverflowIsPeaky(t *testing.T) {
+	res, err := Run(Config{
+		PrimaryN: 4, SecondaryN: 4, Lambda: 3, Mu: 1,
+		Seed: 1, Warmup: 2000, Horizon: 150000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverflowPeakedness <= 1.05 {
+		t.Errorf("overflow peakedness %v, want clearly above 1", res.OverflowPeakedness)
+	}
+	if res.OverflowMean <= 0 {
+		t.Errorf("overflow mean %v", res.OverflowMean)
+	}
+	// Flow sanity: overflow mean equals lambda B_primary / mu within a
+	// few percent.
+	want := 3 * res.PrimaryBlocking.Mean
+	if math.Abs(res.OverflowMean-want) > 0.05*want {
+		t.Errorf("overflow mean %v, flow balance gives %v", res.OverflowMean, want)
+	}
+}
+
+// TestBPPBeatsPoissonOnOverflow is the package's headline: analyzing
+// the secondary with a BPP source fitted to the overflow's (mean, Z)
+// predicts the per-request loss far better than a mean-only Poisson
+// fit, which underestimates it.
+func TestBPPBeatsPoissonOnOverflow(t *testing.T) {
+	// A small primary at moderate blocking feeds a roomier secondary:
+	// the regime where the overflow's peakedness, not just its mean,
+	// drives the secondary's loss.
+	res, err := Run(Config{
+		PrimaryN: 3, SecondaryN: 6, Lambda: 1.5, Mu: 1,
+		Seed: 2, Warmup: 2000, Horizon: 400000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := res.SecondaryBlocking.Mean
+
+	bpp, err := SecondaryBPPCallCongestion(6, res.OverflowMean, res.OverflowPeakedness, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, err := SecondaryPoissonApprox(6, res.OverflowMean, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBPP := math.Abs(bpp - measured)
+	errPoisson := math.Abs(poisson - measured)
+	if errBPP >= errPoisson {
+		t.Errorf("BPP fit error %v (pred %v) should beat Poisson error %v (pred %v), measured %v",
+			errBPP, bpp, errPoisson, poisson, measured)
+	}
+	if poisson >= measured {
+		t.Errorf("mean-only Poisson %v should underestimate the measured loss %v", poisson, measured)
+	}
+	if errBPP > 0.2*measured {
+		t.Errorf("BPP prediction %v too far from measured %v", bpp, measured)
+	}
+}
+
+// TestTimeVsCallCongestionOnFit: for the fitted peaky source, call
+// congestion exceeds time congestion.
+func TestTimeVsCallCongestionOnFit(t *testing.T) {
+	call, err := SecondaryBPPCallCongestion(4, 0.8, 1.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeB, err := SecondaryBPPApprox(4, 0.8, 1.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call <= timeB {
+		t.Errorf("peaky call congestion %v should exceed time congestion %v", call, timeB)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{PrimaryN: 0, SecondaryN: 4, Lambda: 1, Mu: 1, Horizon: 10},
+		{PrimaryN: 4, SecondaryN: 0, Lambda: 1, Mu: 1, Horizon: 10},
+		{PrimaryN: 4, SecondaryN: 4, Lambda: 0, Mu: 1, Horizon: 10},
+		{PrimaryN: 4, SecondaryN: 4, Lambda: 1, Mu: 0, Horizon: 10},
+		{PrimaryN: 4, SecondaryN: 4, Lambda: 1, Mu: 1, Horizon: 0},
+		{PrimaryN: 4, SecondaryN: 4, Lambda: 1, Mu: 1, Horizon: 10, Batches: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := SecondaryBPPApprox(4, 0, 1.5, 1); err == nil {
+		t.Error("zero mean accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{PrimaryN: 3, SecondaryN: 3, Lambda: 2, Mu: 1,
+		Seed: 9, Warmup: 100, Horizon: 5000}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.OverflowMean != b.OverflowMean {
+		t.Error("same seed diverged")
+	}
+}

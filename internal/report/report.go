@@ -1,0 +1,181 @@
+// Package report renders experiment output: aligned text tables, CSV
+// files, and compact ASCII charts for the figure series — enough to
+// eyeball the published shapes straight from a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"xbar/internal/workload"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := line(headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes a comma-separated table. Cells containing commas or
+// quotes are quoted.
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders figure series as an ASCII scatter chart with the
+// series index as the plotting glyph, N on the x axis (log2-spaced
+// ticks, matching the sweeps) and value on the y axis.
+func Chart(w io.Writer, title string, series []workload.Series, height int) error {
+	if height < 4 {
+		height = 12
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+		for _, p := range s.Points {
+			lo = math.Min(lo, p.Value)
+			hi = math.Max(hi, p.Value)
+		}
+	}
+	if maxLen == 0 {
+		return fmt.Errorf("report: no points to chart")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	const colWidth = 6
+	width := maxLen * colWidth
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	glyphs := "0123456789"
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for pi, p := range s.Points {
+			row := int(math.Round((hi - p.Value) / (hi - lo) * float64(height-1)))
+			// Offset each series inside the column slot so coincident
+			// values remain distinguishable.
+			col := pi*colWidth + 1 + si%(colWidth-2)
+			if row >= 0 && row < height && col < width {
+				grid[row][col] = g
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for r, rowBytes := range grid {
+		v := hi - (hi-lo)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%10.3g |%s\n", v, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	// X axis: tick labels from the longest series.
+	var longest workload.Series
+	for _, s := range series {
+		if len(s.Points) == len(longest.Points) || len(s.Points) > len(longest.Points) {
+			if len(s.Points) > len(longest.Points) {
+				longest = s
+			}
+		}
+	}
+	axis := make([]byte, width)
+	for i := range axis {
+		axis[i] = '-'
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n%10s  ", "", string(axis), "N ="); err != nil {
+		return err
+	}
+	for _, p := range longest.Points {
+		if _, err := fmt.Fprintf(w, "%-*d", colWidth, p.N); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "%12c = %s\n", glyphs[si%len(glyphs)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a value with the precision the paper's tables
+// use.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 0.01 && math.Abs(v) < 1e6:
+		return fmt.Sprintf("%.6g", v)
+	default:
+		return fmt.Sprintf("%.6e", v)
+	}
+}

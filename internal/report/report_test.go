@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"xbar/internal/workload"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"N", "blocking"}, [][]string{
+		{"1", "0.0024"},
+		{"128", "0.0049"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "N  ") {
+		t.Errorf("header misaligned: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1    0.0024") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"a", "b"}, [][]string{
+		{"1", "plain"},
+		{"2", `has,comma and "quote"`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,plain\n2,\"has,comma and \"\"quote\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV output %q, want %q", b.String(), want)
+	}
+}
+
+func TestChart(t *testing.T) {
+	series := []workload.Series{
+		{Label: "low", Points: []workload.Point{{N: 1, Value: 0.001}, {N: 2, Value: 0.002}, {N: 4, Value: 0.003}}},
+		{Label: "high", Points: []workload.Point{{N: 1, Value: 0.002}, {N: 2, Value: 0.004}, {N: 4, Value: 0.006}}},
+	}
+	var b strings.Builder
+	if err := Chart(&b, "test figure", series, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "test figure") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Error("missing series glyphs")
+	}
+	if !strings.Contains(out, "= low") || !strings.Contains(out, "= high") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "N =") {
+		t.Error("missing x axis")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Chart(&b, "empty", nil, 8); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	series := []workload.Series{
+		{Label: "flat", Points: []workload.Point{{N: 1, Value: 5}, {N: 2, Value: 5}}},
+	}
+	var b strings.Builder
+	if err := Chart(&b, "flat", series, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := FormatFloat(0); got != "0" {
+		t.Errorf("FormatFloat(0) = %q", got)
+	}
+	if got := FormatFloat(0.5); got != "0.5" {
+		t.Errorf("FormatFloat(0.5) = %q", got)
+	}
+	if got := FormatFloat(1.5e-7); !strings.Contains(got, "e-07") {
+		t.Errorf("FormatFloat(1.5e-7) = %q", got)
+	}
+}

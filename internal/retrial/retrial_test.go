@@ -1,0 +1,176 @@
+package retrial
+
+import (
+	"math"
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		N1: 6, N2: 6, Lambda: 4, Mu: 1,
+		Seed: 1, Warmup: 2000, Horizon: 80000,
+	}
+}
+
+// TestSingleAttemptReducesToCleared: MaxAttempts = 1 is exactly the
+// paper's model; the simulated first-attempt blocking must match the
+// product form.
+func TestSingleAttemptReducesToCleared(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxAttempts = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ClearedBlocking(cfg.N1, cfg.N2, cfg.Lambda, cfg.Mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.FirstAttemptBlocking.Mean-want) > 2*res.FirstAttemptBlocking.HalfWidth {
+		t.Errorf("first-attempt blocking %v vs cleared model %v", res.FirstAttemptBlocking, want)
+	}
+	// With one attempt, abandonment IS blocking and attempts = 1.
+	if math.Abs(res.Abandonment.Mean-res.FirstAttemptBlocking.Mean) > 1e-12 {
+		t.Errorf("abandonment %v != blocking %v at MaxAttempts=1",
+			res.Abandonment.Mean, res.FirstAttemptBlocking.Mean)
+	}
+	if math.Abs(res.MeanAttempts-1) > 1e-12 {
+		t.Errorf("mean attempts %v, want 1", res.MeanAttempts)
+	}
+	if res.MeanOrbit != 0 {
+		t.Errorf("orbit %v, want 0", res.MeanOrbit)
+	}
+}
+
+// TestRetriesReduceAbandonmentButRaiseCongestion: allowing retries cuts
+// the user-visible abandonment while the retry feedback raises the
+// blocking seen by fresh attempts.
+func TestRetriesReduceAbandonmentButRaiseCongestion(t *testing.T) {
+	cleared := baseConfig()
+	cleared.MaxAttempts = 1
+	base, err := Run(cleared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry := baseConfig()
+	retry.MaxAttempts = 5
+	retry.RetryRate = 2
+	retry.Seed = 2
+	res, err := Run(retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandonment.Mean >= base.Abandonment.Mean {
+		t.Errorf("retries should cut abandonment: %v vs cleared %v",
+			res.Abandonment.Mean, base.Abandonment.Mean)
+	}
+	if res.FirstAttemptBlocking.Mean <= base.FirstAttemptBlocking.Mean {
+		t.Errorf("retry feedback should raise first-attempt blocking: %v vs %v",
+			res.FirstAttemptBlocking.Mean, base.FirstAttemptBlocking.Mean)
+	}
+	if res.MeanAttempts <= 1 {
+		t.Errorf("mean attempts %v, want > 1", res.MeanAttempts)
+	}
+	if res.MeanOrbit <= 0 {
+		t.Errorf("orbit %v, want > 0", res.MeanOrbit)
+	}
+}
+
+// TestMoreAttemptsCutAbandonment monotonically.
+func TestMoreAttemptsCutAbandonment(t *testing.T) {
+	prev := 2.0
+	for _, attempts := range []int{1, 2, 4, 8} {
+		cfg := baseConfig()
+		cfg.MaxAttempts = attempts
+		cfg.RetryRate = 2
+		cfg.Seed = uint64(10 + attempts)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Abandonment.Mean >= prev {
+			t.Errorf("attempts=%d: abandonment %v not decreasing", attempts, res.Abandonment.Mean)
+		}
+		prev = res.Abandonment.Mean
+	}
+}
+
+// TestSlowRetryFixedPoint: retries never disappear in steady state —
+// flow conservation routes every blocked request back eventually, no
+// matter how slow the back-off — but a long back-off DECORRELATES the
+// retry stream, so total attempts form an approximately Poisson stream
+// at the inflated rate
+//
+//	Lambda_total = lambda (1 + B + B^2)          (MaxAttempts = 3),
+//
+// where B is the cleared-model blocking at Lambda_total: a fixed point
+// solvable by iteration and matched by the simulation. This is the
+// quantitative cost hidden by the paper's "recovery is managed by the
+// end-points" assumption.
+func TestSlowRetryFixedPoint(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxAttempts = 3
+	cfg.RetryRate = 0.001 // back-off ~1000 holding times: decorrelated
+	cfg.Horizon = 200000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve the fixed point B = Cleared(lambda (1 + B + B^2)).
+	b := 0.0
+	for i := 0; i < 200; i++ {
+		total := cfg.Lambda * (1 + b + b*b)
+		nb, err := ClearedBlocking(cfg.N1, cfg.N2, total, cfg.Mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = 0.5*b + 0.5*nb
+	}
+	if math.Abs(res.FirstAttemptBlocking.Mean-b) > 2*res.FirstAttemptBlocking.HalfWidth+0.03*b {
+		t.Errorf("slow-retry first-attempt blocking %v vs fixed point %v",
+			res.FirstAttemptBlocking, b)
+	}
+	// And the retry load strictly exceeds the no-retry baseline.
+	cleared, err := ClearedBlocking(cfg.N1, cfg.N2, cfg.Lambda, cfg.Mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b > cleared) {
+		t.Errorf("fixed-point blocking %v should exceed cleared %v", b, cleared)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{N1: 0, N2: 4, Lambda: 1, Mu: 1, Horizon: 10},
+		{N1: 4, N2: 4, Lambda: 0, Mu: 1, Horizon: 10},
+		{N1: 4, N2: 4, Lambda: 1, Mu: 0, Horizon: 10},
+		{N1: 4, N2: 4, Lambda: 1, Mu: 1, Horizon: 0},
+		{N1: 4, N2: 4, Lambda: 1, Mu: 1, Horizon: 10, MaxAttempts: -2},
+		{N1: 4, N2: 4, Lambda: 1, Mu: 1, Horizon: 10, MaxAttempts: 3}, // no retry rate
+		{N1: 4, N2: 4, Lambda: 1, Mu: 1, Horizon: 10, Batches: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxAttempts = 3
+	cfg.RetryRate = 1
+	cfg.Horizon = 5000
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.MeanAttempts != b.MeanAttempts {
+		t.Error("same seed diverged")
+	}
+}

@@ -1,0 +1,211 @@
+// Package rng provides deterministic, seedable random-number streams
+// and the service-time distributions the simulator uses to test the
+// paper's insensitivity claim (the product form depends on holding
+// times only through their mean [7]).
+//
+// The generator is splitmix64-seeded xoshiro256**, a small, fast,
+// well-tested PRNG implementable with the standard library only.
+// Distinct Streams split from one seed are independent for simulation
+// purposes.
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stream is a deterministic random number stream. The zero value is
+// not ready to use; construct with NewStream.
+type Stream struct {
+	s [4]uint64
+}
+
+// NewStream returns a stream seeded from the given seed via splitmix64,
+// so nearby seeds yield well-separated states.
+func NewStream(seed uint64) *Stream {
+	st := &Stream{}
+	x := seed
+	for i := range st.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		st.s[i] = z ^ (z >> 31)
+	}
+	// Avoid the all-zero state (splitmix64 never produces it from all
+	// four outputs, but be explicit).
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 1
+	}
+	return st
+}
+
+// Split derives an independent child stream; the parent advances.
+func (s *Stream) Split() *Stream {
+	return NewStream(s.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (s *Stream) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics for n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn(%d)", n))
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	bound := uint64(n)
+	for {
+		x := s.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	return aHi*bHi + w2 + (w1 >> 32), a * b
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("rng: Exp(rate=%v)", rate))
+	}
+	u := s.Float64()
+	// 1-u is in (0, 1], so the log is finite.
+	return -math.Log(1-u) / rate
+}
+
+// ServiceDist is a holding-time distribution with a known mean, used to
+// exercise the insensitivity property.
+type ServiceDist interface {
+	// Sample draws one holding time.
+	Sample(s *Stream) float64
+	// Mean returns the distribution's mean.
+	Mean() float64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Exponential is the exponential distribution with the given mean.
+type Exponential struct{ M float64 }
+
+func (d Exponential) Sample(s *Stream) float64 { return s.Exp(1 / d.M) }
+func (d Exponential) Mean() float64            { return d.M }
+func (d Exponential) Name() string             { return "exponential" }
+
+// Deterministic holds every connection for exactly M.
+type Deterministic struct{ M float64 }
+
+func (d Deterministic) Sample(*Stream) float64 { return d.M }
+func (d Deterministic) Mean() float64          { return d.M }
+func (d Deterministic) Name() string           { return "deterministic" }
+
+// Erlang is the Erlang-k distribution (sum of K exponentials) with
+// overall mean M; squared coefficient of variation 1/K.
+type Erlang struct {
+	K int
+	M float64
+}
+
+func (d Erlang) Sample(s *Stream) float64 {
+	if d.K < 1 {
+		panic("rng: Erlang needs K >= 1")
+	}
+	rate := float64(d.K) / d.M
+	total := 0.0
+	for i := 0; i < d.K; i++ {
+		total += s.Exp(rate)
+	}
+	return total
+}
+func (d Erlang) Mean() float64 { return d.M }
+func (d Erlang) Name() string  { return fmt.Sprintf("erlang-%d", d.K) }
+
+// HyperExp2 is a two-phase hyperexponential: with probability P the
+// rate is R1, else R2. Squared coefficient of variation > 1.
+type HyperExp2 struct {
+	P      float64
+	R1, R2 float64
+}
+
+func (d HyperExp2) Sample(s *Stream) float64 {
+	if s.Float64() < d.P {
+		return s.Exp(d.R1)
+	}
+	return s.Exp(d.R2)
+}
+func (d HyperExp2) Mean() float64 { return d.P/d.R1 + (1-d.P)/d.R2 }
+func (d HyperExp2) Name() string  { return "hyperexp-2" }
+
+// BalancedHyperExp2 builds a HyperExp2 with the given mean and squared
+// coefficient of variation scv > 1, using balanced means
+// (p/r1 = (1-p)/r2).
+func BalancedHyperExp2(mean, scv float64) HyperExp2 {
+	if scv <= 1 {
+		panic(fmt.Sprintf("rng: BalancedHyperExp2 needs scv > 1, got %v", scv))
+	}
+	p := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
+	return HyperExp2{P: p, R1: 2 * p / mean, R2: 2 * (1 - p) / mean}
+}
+
+// UniformDist is uniform on [Lo, Hi].
+type UniformDist struct{ Lo, Hi float64 }
+
+func (d UniformDist) Sample(s *Stream) float64 { return d.Lo + (d.Hi-d.Lo)*s.Float64() }
+func (d UniformDist) Mean() float64            { return (d.Lo + d.Hi) / 2 }
+func (d UniformDist) Name() string             { return "uniform" }
+
+// Pareto is a Pareto distribution with shape Alpha > 1 (finite mean)
+// and scale Xm: heavy-tailed holding times.
+type Pareto struct {
+	Alpha float64
+	Xm    float64
+}
+
+func (d Pareto) Sample(s *Stream) float64 {
+	u := 1 - s.Float64() // in (0, 1]
+	return d.Xm / math.Pow(u, 1/d.Alpha)
+}
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+func (d Pareto) Name() string { return "pareto" }
+
+// ParetoWithMean returns a Pareto with the given mean and shape.
+func ParetoWithMean(mean, alpha float64) Pareto {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("rng: ParetoWithMean needs alpha > 1, got %v", alpha))
+	}
+	return Pareto{Alpha: alpha, Xm: mean * (alpha - 1) / alpha}
+}

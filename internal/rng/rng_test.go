@@ -1,0 +1,224 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewStream(43)
+	same := 0
+	d := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewStream(7)
+	a := parent.Split()
+	b := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams collide %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream(1)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := NewStream(2)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean %v", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.002 {
+		t.Errorf("uniform variance %v", variance)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := NewStream(3)
+	const n, buckets = 120000, 12
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		v := s.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d, want ~%v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewStream(1).Intn(0)
+}
+
+func TestExpMoments(t *testing.T) {
+	s := NewStream(4)
+	const n = 200000
+	rate := 2.5
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Exp(rate)
+		if x < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01/rate {
+		t.Errorf("exp mean %v, want %v", mean, 1/rate)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1/(rate*rate)) > 0.02/(rate*rate) {
+		t.Errorf("exp variance %v, want %v", variance, 1/(rate*rate))
+	}
+}
+
+func sampleMoments(d ServiceDist, n int, seed uint64) (mean, scv float64) {
+	s := NewStream(seed)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(s)
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	return mean, variance / (mean * mean)
+}
+
+// TestServiceDistMeans: every distribution's empirical mean matches its
+// declared Mean(), the property the insensitivity experiments rely on.
+func TestServiceDistMeans(t *testing.T) {
+	const m = 1.7
+	dists := []ServiceDist{
+		Exponential{M: m},
+		Deterministic{M: m},
+		Erlang{K: 4, M: m},
+		BalancedHyperExp2(m, 4),
+		UniformDist{Lo: 0.7, Hi: 2.7},
+		ParetoWithMean(m, 2.5),
+	}
+	for _, d := range dists {
+		if math.Abs(d.Mean()-m) > 1e-9 {
+			t.Errorf("%s: declared mean %v, want %v", d.Name(), d.Mean(), m)
+		}
+		got, _ := sampleMoments(d, 400000, 99)
+		tol := 0.02 * m
+		if d.Name() == "pareto" {
+			tol = 0.06 * m // heavy tail converges slowly
+		}
+		if math.Abs(got-m) > tol {
+			t.Errorf("%s: empirical mean %v, want %v", d.Name(), got, m)
+		}
+	}
+}
+
+// TestServiceDistVariability: the squared coefficients of variation
+// order as designed (deterministic < erlang < exponential < hyperexp).
+func TestServiceDistVariability(t *testing.T) {
+	const m = 1.0
+	_, scvDet := sampleMoments(Deterministic{M: m}, 10000, 1)
+	_, scvErl := sampleMoments(Erlang{K: 4, M: m}, 200000, 2)
+	_, scvExp := sampleMoments(Exponential{M: m}, 200000, 3)
+	_, scvHyp := sampleMoments(BalancedHyperExp2(m, 4), 200000, 4)
+	if !(scvDet < scvErl && scvErl < scvExp && scvExp < scvHyp) {
+		t.Errorf("scv ordering violated: det=%v erl=%v exp=%v hyp=%v",
+			scvDet, scvErl, scvExp, scvHyp)
+	}
+	if math.Abs(scvErl-0.25) > 0.02 {
+		t.Errorf("Erlang-4 scv %v, want 0.25", scvErl)
+	}
+	if math.Abs(scvHyp-4) > 0.3 {
+		t.Errorf("hyperexp scv %v, want 4", scvHyp)
+	}
+}
+
+func TestErlangPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Erlang{K:0} did not panic")
+		}
+	}()
+	Erlang{K: 0, M: 1}.Sample(NewStream(1))
+}
+
+func TestBalancedHyperExp2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scv <= 1 did not panic")
+		}
+	}()
+	BalancedHyperExp2(1, 0.5)
+}
+
+func TestParetoWithMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha <= 1 did not panic")
+		}
+	}()
+	ParetoWithMean(1, 1)
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	if !math.IsInf(Pareto{Alpha: 0.9, Xm: 1}.Mean(), 1) {
+		t.Error("Pareto alpha < 1 should have infinite mean")
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	NewStream(1).Exp(0)
+}

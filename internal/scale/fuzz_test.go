@@ -1,0 +1,59 @@
+package scale
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzArithmetic drives the scaled number type with arbitrary float64
+// pairs: operations must never panic on finite inputs and must agree
+// with plain float64 whenever the plain computation stays in range.
+func FuzzArithmetic(f *testing.F) {
+	f.Add(1.0, 2.0)
+	f.Add(0.0, -3.5)
+	f.Add(1e300, 1e-300)
+	f.Add(-2.25, 0.1)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return
+		}
+		a, b := FromFloat64(x), FromFloat64(y)
+		checks := []struct {
+			name  string
+			got   Number
+			plain float64
+		}{
+			{"add", a.Add(b), x + y},
+			{"sub", a.Sub(b), x - y},
+			{"mul", a.Mul(b), x * y},
+		}
+		if y != 0 {
+			checks = append(checks, struct {
+				name  string
+				got   Number
+				plain float64
+			}{"div", a.Div(b), x / y})
+		}
+		for _, c := range checks {
+			if math.IsInf(c.plain, 0) || math.IsNaN(c.plain) {
+				continue // plain float64 left its range; scaled is allowed to differ
+			}
+			got := c.got.Float64()
+			diff := math.Abs(got - c.plain)
+			tol := 1e-12 * math.Max(math.Abs(c.plain), 1e-300)
+			if diff > tol && diff > 1e-300 {
+				// Account for subnormal rounding at the extremes.
+				if math.Abs(c.plain) > 1e-290 {
+					t.Fatalf("%s(%v, %v) = %v, plain %v", c.name, x, y, got, c.plain)
+				}
+			}
+		}
+		// Sign and comparison coherence.
+		if a.Cmp(b) == 1 && !(x > y) {
+			t.Fatalf("Cmp(%v, %v) = 1", x, y)
+		}
+		if a.Cmp(b) == -1 && !(x < y) {
+			t.Fatalf("Cmp(%v, %v) = -1", x, y)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+// Package scale implements the dynamically scaled floating-point
+// arithmetic described in Section 6 of the paper. The normalization
+// constant Q(N) = G(N)/(N1! N2!) underflows IEEE float64 once N exceeds
+// roughly 85 (the k = 0 term alone is 1/(N1! N2!)), while the paper
+// evaluates systems up to N = 256. A Number carries an explicit binary
+// exponent next to a float64 fraction, giving the same mantissa
+// precision as float64 with an effectively unbounded exponent range, so
+// the Q-recursions of Algorithms 1 and 2 can be run at any system size
+// and every performance measure — always a ratio of Q values — comes
+// out exactly as if no scaling had happened.
+package scale
+
+import (
+	"fmt"
+	"math"
+)
+
+// Number is a scaled floating-point value frac * 2^exp. A normalized
+// non-zero Number keeps |frac| in [0.5, 1), mirroring math.Frexp. The
+// zero value of Number is the number 0 and is ready to use.
+type Number struct {
+	frac float64
+	exp  int
+}
+
+// Zero is the Number 0.
+var Zero = Number{}
+
+// One is the Number 1.
+var One = Number{frac: 0.5, exp: 1}
+
+// FromFloat64 converts a float64 into a normalized Number. It panics on
+// NaN or infinities: those only arise from upstream logic errors and
+// silently propagating them would corrupt every downstream measure.
+func FromFloat64(f float64) Number {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("scale: FromFloat64(%v): non-finite argument", f))
+	}
+	if f == 0 {
+		return Number{}
+	}
+	frac, exp := math.Frexp(f)
+	return Number{frac: frac, exp: exp}
+}
+
+// FromLog returns the Number e^x, useful for seeding from log-space
+// computations such as log-factorials. It works far outside the float64
+// exponent range.
+func FromLog(x float64) Number {
+	if math.IsNaN(x) {
+		panic("scale: FromLog(NaN)")
+	}
+	// e^x = 2^(x/ln 2); split into integer exponent and fractional part.
+	log2 := x / math.Ln2
+	ip := math.Floor(log2)
+	frac := math.Exp2(log2 - ip) // in [1, 2)
+	n := Number{frac: frac, exp: int(ip)}
+	return n.norm()
+}
+
+// norm renormalizes so that |frac| is in [0.5, 1), or returns Zero for a
+// zero fraction.
+func (n Number) norm() Number {
+	if n.frac == 0 {
+		return Number{}
+	}
+	f, e := math.Frexp(n.frac)
+	return Number{frac: f, exp: n.exp + e}
+}
+
+// IsZero reports whether n is 0.
+func (n Number) IsZero() bool { return n.frac == 0 }
+
+// Sign returns -1, 0, or +1 according to the sign of n.
+func (n Number) Sign() int {
+	switch {
+	case n.frac > 0:
+		return 1
+	case n.frac < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Neg returns -n.
+func (n Number) Neg() Number { return Number{frac: -n.frac, exp: n.exp} }
+
+// Mul returns n * m.
+func (n Number) Mul(m Number) Number {
+	if n.frac == 0 || m.frac == 0 {
+		return Number{}
+	}
+	return Number{frac: n.frac * m.frac, exp: n.exp + m.exp}.norm()
+}
+
+// MulFloat returns n * f for a plain float64 f.
+func (n Number) MulFloat(f float64) Number {
+	return n.Mul(FromFloat64(f))
+}
+
+// Div returns n / m. It panics when m is zero.
+func (n Number) Div(m Number) Number {
+	if m.frac == 0 {
+		panic("scale: division by zero")
+	}
+	if n.frac == 0 {
+		return Number{}
+	}
+	return Number{frac: n.frac / m.frac, exp: n.exp - m.exp}.norm()
+}
+
+// DivFloat returns n / f.
+func (n Number) DivFloat(f float64) Number {
+	return n.Div(FromFloat64(f))
+}
+
+// Add returns n + m. When the operands' magnitudes differ by more than
+// the float64 mantissa can express (~2^60), the smaller operand is
+// absorbed, exactly as it would be in unscaled float64 addition.
+func (n Number) Add(m Number) Number {
+	if n.frac == 0 {
+		return m
+	}
+	if m.frac == 0 {
+		return n
+	}
+	// Align to the larger exponent.
+	if n.exp < m.exp {
+		n, m = m, n
+	}
+	shift := n.exp - m.exp
+	if shift > 1075 { // smaller operand is below one ulp of the larger
+		return n
+	}
+	f := n.frac + math.Ldexp(m.frac, -shift)
+	return Number{frac: f, exp: n.exp}.norm()
+}
+
+// Sub returns n - m.
+func (n Number) Sub(m Number) Number { return n.Add(m.Neg()) }
+
+// Cmp compares n and m, returning -1, 0, or +1.
+func (n Number) Cmp(m Number) int {
+	d := n.Sub(m)
+	return d.Sign()
+}
+
+// Float64 converts n to a float64, returning 0 on underflow and ±Inf on
+// overflow of the float64 exponent range.
+func (n Number) Float64() float64 {
+	if n.frac == 0 {
+		return 0
+	}
+	return math.Ldexp(n.frac, n.exp)
+}
+
+// Log returns ln(n). It panics for n <= 0.
+func (n Number) Log() float64 {
+	if n.frac <= 0 {
+		panic(fmt.Sprintf("scale: Log of non-positive number %v", n))
+	}
+	return math.Log(n.frac) + float64(n.exp)*math.Ln2
+}
+
+// Ratio returns n/m as a plain float64, the operation every performance
+// measure reduces to. It panics when m is zero.
+func (n Number) Ratio(m Number) float64 {
+	return n.Div(m).Float64()
+}
+
+// String formats n in scientific notation for diagnostics.
+func (n Number) String() string {
+	if n.frac == 0 {
+		return "0"
+	}
+	// value = frac * 2^exp; express as d * 10^e.
+	log10 := math.Log10(math.Abs(n.frac)) + float64(n.exp)*math.Log10(2)
+	e := math.Floor(log10)
+	d := math.Pow(10, log10-e)
+	if n.frac < 0 {
+		d = -d
+	}
+	return fmt.Sprintf("%.12ge%+d", d, int(e))
+}

@@ -1,0 +1,502 @@
+// Package sim is a discrete-event simulator of the asynchronous,
+// unbuffered N1 x N2 crossbar the paper models analytically — the
+// "compare with simulation" item in the paper's future work, and this
+// reproduction's substitute for a physical optical switch fabric.
+//
+// Unlike the analytical model, the simulator represents the fabric
+// explicitly: each input and output port is tracked individually, a
+// class-r request draws a_r distinct inputs and a_r distinct outputs
+// uniformly at random at its (unslotted, asynchronous) arrival instant,
+// is accepted only if every port is idle, and is cleared otherwise.
+// Arrivals follow the state-dependent BPP intensity
+// lambda_r(k_r) = alpha_r + beta_r k_r per ordered route — implemented
+// exactly, by resampling the class's exponential arrival clock whenever
+// k_r changes. Holding times come from any rng.ServiceDist, which is
+// what makes the insensitivity experiments possible.
+//
+// Two blocking measures are reported, because they genuinely differ for
+// bursty traffic (no PASTA without Poisson arrivals):
+//
+//   - time congestion: the time-average probability that a randomly
+//     chosen candidate route is idle — the quantity the paper's
+//     B_r(N) = G(N-a_r I)/G(N) computes. Estimated two ways: by the
+//     conditional-expectation (Rao-Blackwellized) estimator
+//     P(N1-occ,a) P(N2-occ,a) / (P(N1,a) P(N2,a)), and by the raw
+//     idle-indicator of one fixed route.
+//   - call congestion: the fraction of offered class-r requests that
+//     are blocked, which is what a user of the switch experiences.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/combin"
+	"xbar/internal/core"
+	"xbar/internal/eventq"
+	"xbar/internal/rng"
+	"xbar/internal/stats"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Switch is the model to simulate (per-route class units, exactly
+	// as the analytical solvers take it).
+	Switch core.Switch
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Warmup is the simulated time discarded before measurement.
+	Warmup float64
+	// Horizon is the measured simulated time after warmup.
+	Horizon float64
+	// Batches divides the horizon for batch-means confidence
+	// intervals; 0 defaults to 20.
+	Batches int
+	// Service optionally overrides the holding-time distribution per
+	// class; nil entries (or a nil slice) default to exponential with
+	// mean 1/mu_r. Means must equal 1/mu_r — Run enforces this so a
+	// config cannot silently diverge from the model it claims to
+	// simulate.
+	Service []rng.ServiceDist
+	// Level is the confidence level (default 0.95).
+	Level float64
+	// MaxEvents caps the event count as a runaway guard; 0 means
+	// 50 million.
+	MaxEvents int64
+	// Admit, when non-nil, is an admission policy evaluated at each
+	// arrival before port selection: a rejected request is counted as
+	// blocked and cleared. The slice passed is the live class-count
+	// vector; policies must not retain or modify it.
+	Admit AdmitFunc
+}
+
+// AdmitFunc decides whether a class arrival may enter the fabric given
+// the current class-count vector (mirrors
+// statespace.AdmissionPolicy).
+type AdmitFunc func(k []int, class int) bool
+
+// ClassResult aggregates the per-class estimates of one run.
+type ClassResult struct {
+	// Offered and Blocked count measured class arrivals.
+	Offered, Blocked int64
+	// CallBlocking is the blocked fraction of offered requests.
+	CallBlocking stats.CI
+	// TimeNonBlocking is the Rao-Blackwellized estimate of B_r(N).
+	TimeNonBlocking stats.CI
+	// FixedRouteIdle is the raw idle-time fraction of one fixed
+	// candidate route — an unbiased but higher-variance estimate of
+	// the same B_r(N).
+	FixedRouteIdle stats.CI
+	// Concurrency is the time-average number of class connections,
+	// estimating E_r(N).
+	Concurrency stats.CI
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Classes []ClassResult
+	// Utilization is the time-average busy fraction of min(N1,N2)
+	// occupancy capacity.
+	Utilization float64
+	// MeanOccupancy is the time-average number of busy inputs.
+	MeanOccupancy float64
+	// Occupancy[s] is the measured time fraction with exactly s busy
+	// inputs — directly comparable to the convolution evaluator's
+	// analytic occupancy distribution.
+	Occupancy []float64
+	// Events is the number of processed events in the measured phase.
+	Events int64
+}
+
+const defaultMaxEvents = 50_000_000
+
+// Run simulates the configured switch and returns estimates with
+// confidence intervals.
+func Run(cfg Config) (*Result, error) {
+	sw := cfg.Switch
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %v", cfg.Horizon)
+	}
+	if cfg.Warmup < 0 {
+		return nil, fmt.Errorf("sim: negative warmup %v", cfg.Warmup)
+	}
+	batches := cfg.Batches
+	if batches == 0 {
+		batches = 20
+	}
+	if batches < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 batches, got %d", batches)
+	}
+	level := cfg.Level
+	if level == 0 {
+		level = 0.95
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = defaultMaxEvents
+	}
+	if cfg.Service != nil && len(cfg.Service) != len(sw.Classes) {
+		return nil, fmt.Errorf("sim: %d service distributions for %d classes",
+			len(cfg.Service), len(sw.Classes))
+	}
+	service := make([]rng.ServiceDist, len(sw.Classes))
+	for r, c := range sw.Classes {
+		if cfg.Service != nil && cfg.Service[r] != nil {
+			service[r] = cfg.Service[r]
+			if m := service[r].Mean(); math.Abs(m-1/c.Mu) > 1e-9*math.Max(m, 1/c.Mu) {
+				return nil, fmt.Errorf("sim: class %d service mean %v != 1/mu = %v", r, m, 1/c.Mu)
+			}
+		} else {
+			service[r] = rng.Exponential{M: 1 / c.Mu}
+		}
+	}
+
+	s := newState(sw, cfg.Seed, service, cfg.Warmup, cfg.Horizon, batches)
+	s.admit = cfg.Admit
+	if err := s.run(maxEvents); err != nil {
+		return nil, err
+	}
+	return s.results(level), nil
+}
+
+// departure is a scheduled connection teardown.
+type departure struct {
+	class   int
+	inputs  []int
+	outputs []int
+}
+
+type classSim struct {
+	class   core.Class
+	routes  float64 // P(N1,a) P(N2,a): ordered candidate routes
+	service rng.ServiceDist
+	nextArr float64
+	// Per-batch accumulators: arrival counters, time-weighted class
+	// count (kTW), Rao-Blackwellized route-idle probability (rbTW),
+	// and the raw idle indicator of the canonical fixed route —
+	// inputs 0..a-1, outputs 0..a-1 (fixTW).
+	offered, blocked []int64
+	kTW, rbTW, fixTW []batchTW
+}
+
+// batchTW is a minimal time-weighted accumulator for one batch.
+type batchTW struct{ area float64 }
+
+type state struct {
+	sw       core.Switch
+	rng      *rng.Stream
+	classes  []classSim
+	busyIn   []bool
+	busyOut  []bool
+	occ      int // busy inputs (= busy outputs)
+	k        []int
+	deps     eventq.Queue[departure]
+	now      float64
+	start    float64 // measurement start (= warmup)
+	end      float64
+	batchLen float64
+	batches  int
+	occTW    []batchTW
+	// occHist[s] accumulates measured time with occupancy s.
+	occHist []float64
+	// scratch buffers for route sampling
+	pickIn, pickOut []int
+	events          int64
+	admit           AdmitFunc
+}
+
+func newState(sw core.Switch, seed uint64, service []rng.ServiceDist, warmup, horizon float64, batches int) *state {
+	s := &state{
+		sw:       sw,
+		rng:      rng.NewStream(seed),
+		busyIn:   make([]bool, sw.N1),
+		busyOut:  make([]bool, sw.N2),
+		k:        make([]int, len(sw.Classes)),
+		start:    warmup,
+		end:      warmup + horizon,
+		batchLen: horizon / float64(batches),
+		batches:  batches,
+		occTW:    make([]batchTW, batches),
+		occHist:  make([]float64, sw.MinN()+1),
+	}
+	maxA := 0
+	for r, c := range sw.Classes {
+		cs := classSim{
+			class:   c,
+			routes:  combin.Perm(sw.N1, c.A) * combin.Perm(sw.N2, c.A),
+			service: service[r],
+			offered: make([]int64, batches),
+			blocked: make([]int64, batches),
+			kTW:     make([]batchTW, batches),
+			rbTW:    make([]batchTW, batches),
+			fixTW:   make([]batchTW, batches),
+		}
+		cs.nextArr = s.sampleArrival(0, &cs, 0)
+		s.classes = append(s.classes, cs)
+		if c.A > maxA {
+			maxA = c.A
+		}
+	}
+	s.pickIn = make([]int, maxA)
+	s.pickOut = make([]int, maxA)
+	return s
+}
+
+// sampleArrival draws the next class arrival time from t given count k.
+func (s *state) sampleArrival(t float64, cs *classSim, k int) float64 {
+	rate := cs.class.Rate(k) * cs.routes
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return t + s.rng.Exp(rate)
+}
+
+// accumulate adds value*dt over [t0, t1) to the per-batch areas,
+// clipping to the measurement window and splitting across batch
+// boundaries.
+func accumulate(tws []batchTW, start, batchLen float64, batches int, t0, t1, value float64) {
+	if value == 0 {
+		return
+	}
+	end := start + batchLen*float64(batches)
+	if t0 < start {
+		t0 = start
+	}
+	if t1 > end {
+		t1 = end
+	}
+	for t0 < t1 {
+		b := int((t0 - start) / batchLen)
+		if b >= batches {
+			return
+		}
+		bEnd := start + batchLen*float64(b+1)
+		seg := t1
+		if bEnd < seg {
+			seg = bEnd
+		}
+		tws[b].area += value * (seg - t0)
+		t0 = seg
+	}
+}
+
+// advance integrates all time-weighted statistics from s.now to t.
+func (s *state) advance(t float64) {
+	if t <= s.now {
+		s.now = math.Max(s.now, t)
+		return
+	}
+	accumulate(s.occTW, s.start, s.batchLen, s.batches, s.now, t, float64(s.occ))
+	// Occupancy histogram over the measurement window.
+	if hi, lo := math.Min(t, s.end), math.Max(s.now, s.start); hi > lo {
+		s.occHist[s.occ] += hi - lo
+	}
+	for r := range s.classes {
+		cs := &s.classes[r]
+		a := cs.class.A
+		accumulate(cs.kTW, s.start, s.batchLen, s.batches, s.now, t, float64(s.k[r]))
+		if a <= s.sw.MinN() {
+			rb := combin.Perm(s.sw.N1-s.occ, a) * combin.Perm(s.sw.N2-s.occ, a) / cs.routes
+			accumulate(cs.rbTW, s.start, s.batchLen, s.batches, s.now, t, rb)
+			if s.fixedRouteIdle(a) {
+				accumulate(cs.fixTW, s.start, s.batchLen, s.batches, s.now, t, 1)
+			}
+		}
+	}
+	s.now = t
+}
+
+// fixedRouteIdle reports whether inputs 0..a-1 and outputs 0..a-1 are
+// all idle.
+func (s *state) fixedRouteIdle(a int) bool {
+	for i := 0; i < a; i++ {
+		if s.busyIn[i] || s.busyOut[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// batchOf returns the measurement batch index for time t, or -1.
+func (s *state) batchOf(t float64) int {
+	if t < s.start || t >= s.end {
+		return -1
+	}
+	b := int((t - s.start) / s.batchLen)
+	if b >= s.batches {
+		b = s.batches - 1
+	}
+	return b
+}
+
+func (s *state) run(maxEvents int64) error {
+	for {
+		// Next event: earliest departure or class arrival.
+		t := math.Inf(1)
+		kind := -1 // -1 none, -2 departure, r >= 0 arrival of class r
+		if at, ok := s.deps.PeekTime(); ok {
+			t = at
+			kind = -2
+		}
+		for r := range s.classes {
+			if s.classes[r].nextArr < t {
+				t = s.classes[r].nextArr
+				kind = r
+			}
+		}
+		if kind == -1 || t >= s.end {
+			s.advance(s.end)
+			return nil
+		}
+		s.advance(t)
+		s.events++
+		if s.events > maxEvents {
+			return fmt.Errorf("sim: exceeded %d events before horizon; load too high for the configured horizon", maxEvents)
+		}
+		if kind == -2 {
+			s.depart()
+		} else {
+			s.arrive(kind)
+		}
+	}
+}
+
+func (s *state) depart() {
+	_, d := s.deps.Pop()
+	for _, i := range d.inputs {
+		s.busyIn[i] = false
+	}
+	for _, j := range d.outputs {
+		s.busyOut[j] = false
+	}
+	s.occ -= len(d.inputs)
+	s.k[d.class]--
+	// The class arrival rate changed with k: resample its clock.
+	cs := &s.classes[d.class]
+	cs.nextArr = s.sampleArrival(s.now, cs, s.k[d.class])
+}
+
+func (s *state) arrive(r int) {
+	cs := &s.classes[r]
+	a := cs.class.A
+	if b := s.batchOf(s.now); b >= 0 {
+		cs.offered[b]++
+	}
+	// Admission policy first, then draw a_r distinct inputs and
+	// outputs uniformly.
+	ok := a <= s.sw.N1 && a <= s.sw.N2
+	if ok && s.admit != nil && !s.admit(s.k, r) {
+		ok = false
+	}
+	if ok {
+		sampleDistinct(s.rng, s.sw.N1, a, s.pickIn)
+		sampleDistinct(s.rng, s.sw.N2, a, s.pickOut)
+		for i := 0; i < a; i++ {
+			if s.busyIn[s.pickIn[i]] || s.busyOut[s.pickOut[i]] {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		if b := s.batchOf(s.now); b >= 0 {
+			cs.blocked[b]++
+		}
+		// Blocked-and-cleared: k unchanged, clock rate unchanged, but
+		// the exponential clock must still be redrawn past now.
+		cs.nextArr = s.sampleArrival(s.now, cs, s.k[r])
+		return
+	}
+	inputs := make([]int, a)
+	outputs := make([]int, a)
+	copy(inputs, s.pickIn[:a])
+	copy(outputs, s.pickOut[:a])
+	for i := 0; i < a; i++ {
+		s.busyIn[inputs[i]] = true
+		s.busyOut[outputs[i]] = true
+	}
+	s.occ += a
+	s.k[r]++
+	s.deps.Push(s.now+cs.service.Sample(s.rng), departure{
+		class:   r,
+		inputs:  inputs,
+		outputs: outputs,
+	})
+	cs.nextArr = s.sampleArrival(s.now, cs, s.k[r])
+}
+
+// sampleDistinct fills out[:a] with a distinct uniform indices from
+// [0, n) by rejection, which is fast because a << n in every sensible
+// configuration.
+func sampleDistinct(stream *rng.Stream, n, a int, out []int) {
+	for i := 0; i < a; i++ {
+	redraw:
+		for {
+			v := stream.Intn(n)
+			for j := 0; j < i; j++ {
+				if out[j] == v {
+					continue redraw
+				}
+			}
+			out[i] = v
+			break
+		}
+	}
+}
+
+func (s *state) results(level float64) *Result {
+	res := &Result{Events: s.events}
+	occBatches := make([]float64, s.batches)
+	for b := range occBatches {
+		occBatches[b] = s.occTW[b].area / s.batchLen
+	}
+	occCI := stats.BatchMeans(occBatches, level)
+	res.MeanOccupancy = occCI.Mean
+	res.Utilization = occCI.Mean / float64(s.sw.MinN())
+	total := 0.0
+	for _, v := range s.occHist {
+		total += v
+	}
+	if total > 0 {
+		res.Occupancy = make([]float64, len(s.occHist))
+		for i, v := range s.occHist {
+			res.Occupancy[i] = v / total
+		}
+	}
+
+	for r := range s.classes {
+		cs := &s.classes[r]
+		kb := make([]float64, s.batches)
+		rb := make([]float64, s.batches)
+		fx := make([]float64, s.batches)
+		var blockBatches []float64
+		var offered, blocked int64
+		for b := 0; b < s.batches; b++ {
+			kb[b] = cs.kTW[b].area / s.batchLen
+			rb[b] = cs.rbTW[b].area / s.batchLen
+			fx[b] = cs.fixTW[b].area / s.batchLen
+			offered += cs.offered[b]
+			blocked += cs.blocked[b]
+			if cs.offered[b] > 0 {
+				blockBatches = append(blockBatches, float64(cs.blocked[b])/float64(cs.offered[b]))
+			}
+		}
+		cr := ClassResult{
+			Offered:         offered,
+			Blocked:         blocked,
+			Concurrency:     stats.BatchMeans(kb, level),
+			TimeNonBlocking: stats.BatchMeans(rb, level),
+			FixedRouteIdle:  stats.BatchMeans(fx, level),
+		}
+		if len(blockBatches) >= 2 {
+			cr.CallBlocking = stats.BatchMeans(blockBatches, level)
+		} else {
+			cr.CallBlocking = stats.CI{Mean: math.NaN(), HalfWidth: math.Inf(1), Level: level}
+		}
+		res.Classes = append(res.Classes, cr)
+	}
+	return res
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"xbar/internal/core"
+	"xbar/internal/rng"
+	"xbar/internal/stats"
+)
+
+// covers asserts that a confidence interval is statistically consistent
+// with a target value, allowing twice the half-width: batch-means
+// intervals are mildly optimistic for strongly autocorrelated
+// processes, and strict containment would make the suite flaky at
+// roughly the nominal miss rate per assertion.
+func covers(t *testing.T, what string, ci stats.CI, want float64) {
+	t.Helper()
+	if math.Abs(ci.Mean-want) > 2*ci.HalfWidth {
+		t.Errorf("%s: estimate %v is inconsistent with %v", what, ci, want)
+	}
+}
+
+// runFor is a test helper with sane defaults.
+func runFor(t *testing.T, sw core.Switch, seed uint64, horizon float64, service []rng.ServiceDist) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Switch:  sw,
+		Seed:    seed,
+		Warmup:  horizon / 10,
+		Horizon: horizon,
+		Service: service,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPoissonMatchesAnalytic: with Poisson arrivals the simulator's
+// time congestion, call congestion and concurrency must all agree with
+// the analytical model (PASTA makes the two congestions coincide).
+func TestPoissonMatchesAnalytic(t *testing.T) {
+	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{
+		{Name: "x", A: 1, Alpha: 0.05, Mu: 1},
+		{Name: "y", A: 2, Alpha: 0.01, Mu: 2},
+	}}
+	want, err := core.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runFor(t, sw, 1, 30000, nil)
+	for r := range sw.Classes {
+		c := res.Classes[r]
+		covers(t, "time non-blocking", c.TimeNonBlocking, want.NonBlocking[r])
+		covers(t, "concurrency", c.Concurrency, want.Concurrency[r])
+		// PASTA: call congestion equals time congestion.
+		covers(t, "call blocking", c.CallBlocking, want.Blocking[r])
+		if c.Offered == 0 {
+			t.Errorf("class %d: no offered traffic", r)
+		}
+	}
+	if res.Utilization <= 0 || res.Utilization >= 1 {
+		t.Errorf("utilization %v out of (0,1)", res.Utilization)
+	}
+}
+
+// TestFixedRouteEstimatorAgrees: the raw fixed-route idle indicator and
+// the Rao-Blackwellized estimator target the same quantity.
+func TestFixedRouteEstimatorAgrees(t *testing.T) {
+	sw := core.Switch{N1: 3, N2: 3, Classes: []core.Class{
+		{A: 1, Alpha: 0.15, Mu: 1},
+	}}
+	want, err := core.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runFor(t, sw, 2, 30000, nil)
+	c := res.Classes[0]
+	covers(t, "fixed-route idle", c.FixedRouteIdle, want.NonBlocking[0])
+	// The RB estimator should be tighter than the raw indicator.
+	if c.TimeNonBlocking.HalfWidth > c.FixedRouteIdle.HalfWidth {
+		t.Errorf("RB estimator wider (%v) than raw (%v)",
+			c.TimeNonBlocking.HalfWidth, c.FixedRouteIdle.HalfWidth)
+	}
+}
+
+// TestBurstyMatchesAnalyticTimeCongestion: for Pascal traffic the
+// simulator's time congestion matches B_r(N) while call congestion is
+// strictly worse — arriving bursts see a busier switch than a random
+// observer (no PASTA). The exact arrival-weighted value is also
+// checked: sum_k pi_a(k) [1 - ((N-k)/N)^2] with pi_a ~ lambda(k) pi(k).
+func TestBurstyMatchesAnalyticTimeCongestion(t *testing.T) {
+	sw := core.Switch{N1: 3, N2: 3, Classes: []core.Class{
+		{A: 1, Alpha: 0.04, Beta: 0.5, Mu: 1},
+	}}
+	want, err := core.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runFor(t, sw, 3, 120000, nil)
+	c := res.Classes[0]
+	covers(t, "time non-blocking", c.TimeNonBlocking, want.NonBlocking[0])
+	covers(t, "concurrency", c.Concurrency, want.Concurrency[0])
+	timeBlocking := 1 - c.TimeNonBlocking.Mean
+	if c.CallBlocking.Mean <= timeBlocking {
+		t.Errorf("peaky traffic: call blocking %v should exceed time blocking %v",
+			c.CallBlocking.Mean, timeBlocking)
+	}
+	// Exact call congestion via the arrival-weighted distribution.
+	wantCall := analyticCallBlocking(sw)
+	covers(t, "call blocking", c.CallBlocking, wantCall)
+}
+
+// analyticCallBlocking computes the exact call congestion for a
+// single-class a=1 switch: the lambda(k)-weighted average of the
+// blocking probability seen at arrival instants.
+func analyticCallBlocking(sw core.Switch) float64 {
+	cl := sw.Classes[0]
+	n := float64(sw.N1)
+	// Unnormalized product form over k.
+	maxK := sw.MinN()
+	w := make([]float64, maxK+1)
+	w[0] = 1
+	for k := 1; k <= maxK; k++ {
+		w[k] = w[k-1] * cl.Rate(k-1) / (float64(k) * cl.Mu) *
+			float64(sw.N1-k+1) * float64(sw.N2-k+1)
+	}
+	num, den := 0.0, 0.0
+	for k := 0; k <= maxK; k++ {
+		free := (n - float64(k)) / n
+		pBlock := 1 - free*free
+		num += w[k] * cl.Rate(k) * pBlock
+		den += w[k] * cl.Rate(k)
+	}
+	return num / den
+}
+
+// TestSmoothTrafficCallBlockingBelowTime: smooth (Bernoulli) sources
+// see the opposite bias — a source holding connections arrives less
+// often, so arrivals see a less busy switch.
+func TestSmoothTrafficCallBlockingBelowTime(t *testing.T) {
+	// Population 5 sources, strong smoothing.
+	sw := core.Switch{N1: 3, N2: 3, Classes: []core.Class{
+		{A: 1, Alpha: 1.0, Beta: -0.2, Mu: 1},
+	}}
+	want, err := core.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runFor(t, sw, 4, 60000, nil)
+	c := res.Classes[0]
+	covers(t, "time non-blocking", c.TimeNonBlocking, want.NonBlocking[0])
+	timeBlocking := 1 - c.TimeNonBlocking.Mean
+	if c.CallBlocking.Mean >= timeBlocking {
+		t.Errorf("smooth traffic: call blocking %v should be below time blocking %v",
+			c.CallBlocking.Mean, timeBlocking)
+	}
+}
+
+// TestInsensitivity: the product form depends on holding times only
+// through the mean [7]; deterministic, Erlang, hyperexponential and
+// Pareto service with the same mean must reproduce the same measures.
+func TestInsensitivity(t *testing.T) {
+	sw := core.Switch{N1: 3, N2: 3, Classes: []core.Class{
+		{A: 1, Alpha: 0.12, Beta: 0.1, Mu: 2},
+	}}
+	want, err := core.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := []rng.ServiceDist{
+		rng.Deterministic{M: 0.5},
+		rng.Erlang{K: 4, M: 0.5},
+		rng.BalancedHyperExp2(0.5, 4),
+		rng.ParetoWithMean(0.5, 2.5),
+	}
+	for i, d := range dists {
+		res := runFor(t, sw, 100+uint64(i), 60000, []rng.ServiceDist{d})
+		c := res.Classes[0]
+		covers(t, d.Name()+" time non-blocking", c.TimeNonBlocking, want.NonBlocking[0])
+		covers(t, d.Name()+" concurrency", c.Concurrency, want.Concurrency[0])
+	}
+}
+
+// TestServiceMeanMismatchRejected: a service distribution whose mean
+// contradicts 1/mu is a config bug, not a valid experiment.
+func TestServiceMeanMismatchRejected(t *testing.T) {
+	sw := core.Switch{N1: 2, N2: 2, Classes: []core.Class{{A: 1, Alpha: 0.1, Mu: 2}}}
+	_, err := Run(Config{
+		Switch: sw, Horizon: 10,
+		Service: []rng.ServiceDist{rng.Exponential{M: 3}},
+	})
+	if err == nil {
+		t.Error("mismatched service mean accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sw := core.Switch{N1: 2, N2: 2, Classes: []core.Class{{A: 1, Alpha: 0.1, Mu: 1}}}
+	if _, err := Run(Config{Switch: sw, Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Run(Config{Switch: sw, Horizon: 10, Warmup: -1}); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	if _, err := Run(Config{Switch: sw, Horizon: 10, Batches: 1}); err == nil {
+		t.Error("single batch accepted")
+	}
+	if _, err := Run(Config{Switch: core.Switch{N1: 0, N2: 1}, Horizon: 10}); err == nil {
+		t.Error("invalid switch accepted")
+	}
+	if _, err := Run(Config{Switch: sw, Horizon: 10,
+		Service: []rng.ServiceDist{rng.Exponential{M: 1}, rng.Exponential{M: 1}}}); err == nil {
+		t.Error("mismatched service slice length accepted")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	sw := core.Switch{N1: 3, N2: 3, Classes: []core.Class{{A: 1, Alpha: 0.2, Mu: 1}}}
+	a := runFor(t, sw, 7, 2000, nil)
+	b := runFor(t, sw, 7, 2000, nil)
+	if a.Events != b.Events {
+		t.Fatalf("same seed, different event counts: %d vs %d", a.Events, b.Events)
+	}
+	if a.Classes[0].Offered != b.Classes[0].Offered ||
+		a.Classes[0].Blocked != b.Classes[0].Blocked ||
+		a.Classes[0].Concurrency.Mean != b.Classes[0].Concurrency.Mean {
+		t.Error("same seed produced different statistics")
+	}
+	c := runFor(t, sw, 8, 2000, nil)
+	if a.Classes[0].Offered == c.Classes[0].Offered && a.Classes[0].Concurrency.Mean == c.Classes[0].Concurrency.Mean {
+		t.Error("different seeds produced identical statistics")
+	}
+}
+
+// TestMaxEventsGuard: the runaway protection fires.
+func TestMaxEventsGuard(t *testing.T) {
+	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{{A: 1, Alpha: 10, Mu: 1}}}
+	_, err := Run(Config{Switch: sw, Horizon: 1e9, MaxEvents: 1000})
+	if err == nil {
+		t.Error("event cap not enforced")
+	}
+}
+
+// TestClassWiderThanFabric: a class that cannot fit has zero candidate
+// routes, so its arrival intensity is zero and it never offers traffic
+// — consistent with the model's zero acceptance intensity.
+func TestClassWiderThanFabric(t *testing.T) {
+	sw := core.Switch{N1: 2, N2: 2, Classes: []core.Class{
+		{A: 1, Alpha: 0.1, Mu: 1},
+		{A: 3, Alpha: 0.1, Mu: 1},
+	}}
+	res := runFor(t, sw, 9, 5000, nil)
+	wide := res.Classes[1]
+	if wide.Offered != 0 {
+		t.Errorf("wide class offered %d requests, want 0 (zero route count)", wide.Offered)
+	}
+	if got := wide.Concurrency.Mean; got != 0 {
+		t.Errorf("wide class concurrency %v, want 0", got)
+	}
+}
+
+// TestMultiRateContention reproduces the Figure 4 mechanism in the
+// fabric: at equal per-connection load, a=2 requests block more than
+// a=1 requests.
+func TestMultiRateContention(t *testing.T) {
+	n := 6
+	swNarrow := core.Switch{N1: n, N2: n, Classes: []core.Class{{A: 1, Alpha: 0.03, Mu: 1}}}
+	swWide := core.Switch{N1: n, N2: n, Classes: []core.Class{{A: 2, Alpha: 0.03, Mu: 1}}}
+	resNarrow := runFor(t, swNarrow, 10, 30000, nil)
+	resWide := runFor(t, swWide, 11, 30000, nil)
+	bNarrow := 1 - resNarrow.Classes[0].TimeNonBlocking.Mean
+	bWide := 1 - resWide.Classes[0].TimeNonBlocking.Mean
+	if bWide <= bNarrow {
+		t.Errorf("a=2 blocking %v should exceed a=1 blocking %v", bWide, bNarrow)
+	}
+}
+
+func TestOccupancyConservation(t *testing.T) {
+	// Mean occupancy equals sum a_r E_r.
+	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{
+		{A: 1, Alpha: 0.1, Mu: 1},
+		{A: 2, Alpha: 0.02, Mu: 1},
+	}}
+	res := runFor(t, sw, 12, 30000, nil)
+	want := res.Classes[0].Concurrency.Mean + 2*res.Classes[1].Concurrency.Mean
+	if math.Abs(res.MeanOccupancy-want) > 1e-9 {
+		t.Errorf("occupancy %v != sum a_r E_r %v", res.MeanOccupancy, want)
+	}
+}
+
+// TestOccupancyDistributionMatchesConvolution: the simulator's
+// time-fraction occupancy histogram agrees bin-by-bin with the
+// convolution evaluator's analytic distribution.
+func TestOccupancyDistributionMatchesConvolution(t *testing.T) {
+	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{
+		{A: 1, Alpha: 0.08, Mu: 1},
+		{A: 2, Alpha: 0.02, Beta: 0.01, Mu: 1},
+	}}
+	want, err := core.SolveConvolution(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runFor(t, sw, 21, 120000, nil)
+	if len(res.Occupancy) != len(want.Occupancy) {
+		t.Fatalf("histogram has %d bins, want %d", len(res.Occupancy), len(want.Occupancy))
+	}
+	sum := 0.0
+	for s, p := range res.Occupancy {
+		sum += p
+		if math.Abs(p-want.Occupancy[s]) > 0.01+0.05*want.Occupancy[s] {
+			t.Errorf("occupancy[%d] = %v, analytic %v", s, p, want.Occupancy[s])
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram sums to %v", sum)
+	}
+}

@@ -1,0 +1,91 @@
+package slotted
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThroughputClosedForm(t *testing.T) {
+	// 1x1 at p=1: exactly one packet, always accepted.
+	if got := Throughput(1, 1, 1); got != 1 {
+		t.Errorf("Throughput(1,1,1) = %v", got)
+	}
+	// Zero load: zero throughput.
+	if got := Throughput(8, 8, 0); got != 0 {
+		t.Errorf("Throughput at p=0 = %v", got)
+	}
+	// Saturated large switch approaches 1 - 1/e ~ 0.632.
+	if got := Throughput(1024, 1024, 1); math.Abs(got-(1-1/math.E)) > 1e-3 {
+		t.Errorf("saturated throughput %v, want ~%v", got, 1-1/math.E)
+	}
+	// Monotone in p.
+	prev := -1.0
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.9} {
+		s := Throughput(16, 16, p)
+		if s <= prev {
+			t.Errorf("throughput not increasing at p=%v", p)
+		}
+		prev = s
+	}
+}
+
+func TestAcceptanceProbability(t *testing.T) {
+	if got := AcceptanceProbability(8, 8, 0); got != 1 {
+		t.Errorf("acceptance at p=0 = %v, want 1", got)
+	}
+	// Acceptance falls with load.
+	if !(AcceptanceProbability(8, 8, 0.9) < AcceptanceProbability(8, 8, 0.1)) {
+		t.Error("acceptance should fall with load")
+	}
+	// More outputs than inputs raises acceptance.
+	if !(AcceptanceProbability(8, 32, 0.9) > AcceptanceProbability(8, 8, 0.9)) {
+		t.Error("wider switch should accept more")
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	cases := []struct {
+		n, m int
+		p    float64
+	}{
+		{8, 8, 0.5},
+		{16, 16, 0.9},
+		{8, 16, 0.7},
+		{16, 4, 0.3},
+	}
+	for _, c := range cases {
+		res, err := Simulate(c.n, c.m, c.p, 40000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Throughput(c.n, c.m, c.p)
+		if math.Abs(res.PerOutput.Mean-want) > 2*res.PerOutput.HalfWidth+1e-4 {
+			t.Errorf("%dx%d p=%v: simulated %v, analytic %v", c.n, c.m, c.p, res.PerOutput, want)
+		}
+		wantAcc := AcceptanceProbability(c.n, c.m, c.p)
+		if math.Abs(res.Acceptance.Mean-wantAcc) > 2*res.Acceptance.HalfWidth+1e-3 {
+			t.Errorf("%dx%d p=%v: acceptance %v, analytic %v", c.n, c.m, c.p, res.Acceptance, wantAcc)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(0, 4, 0.5, 1000, 1); err == nil {
+		t.Error("zero inputs accepted")
+	}
+	if _, err := Simulate(4, 4, 1.5, 1000, 1); err == nil {
+		t.Error("load > 1 accepted")
+	}
+	if _, err := Simulate(4, 4, 0.5, 5, 1); err == nil {
+		t.Error("too few slots accepted")
+	}
+}
+
+func TestThroughputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid size did not panic")
+		}
+	}()
+	Throughput(0, 4, 0.5)
+}

@@ -1,0 +1,385 @@
+// Package statespace builds the exact continuous-time Markov chain
+// underlying the crossbar model and solves it numerically, with no
+// recourse to the product form. It is the independent ground truth the
+// analytical evaluators in internal/core are validated against, and it
+// verifies the structural claims of Section 2 of the paper: that the
+// process is reversible (detailed balance holds) and that the
+// product-form pi satisfies global balance.
+//
+// The chain's state is k = (k_1, ..., k_R) with k.A <= min(N1, N2).
+// Transition intensities (paper Section 2):
+//
+//	q(k, k + 1_r) = P(N1 - k.A, a_r) P(N2 - k.A, a_r) lambda_r(k_r)
+//	q(k, k - 1_r) = k_r mu_r
+//
+// where the permutation factors count the ordered routes that do not
+// interfere with connections in progress. (For a_r = 1 this is the
+// paper's (N1 - k.A)(N2 - k.A) lambda_r.)
+package statespace
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/combin"
+	"xbar/internal/core"
+)
+
+// AdmissionPolicy decides whether a class-r request arriving in state
+// k may enter the fabric (it is evaluated before port availability).
+// A nil policy admits everything — the paper's model. Policies break
+// reversibility in general, which is exactly why this package solves
+// the global balance equations instead of assuming the product form.
+type AdmissionPolicy func(k []int, r int) bool
+
+// Chain is the explicit CTMC for a switch.
+type Chain struct {
+	Switch core.Switch
+	// Policy, when non-nil, gates class arrivals (trunk reservation
+	// and similar admission controls).
+	Policy AdmissionPolicy
+	// States enumerates Gamma(N) in lexicographic order.
+	States [][]int
+	// Index maps a state (encoded by stateKey) to its position in
+	// States.
+	index map[string]int
+}
+
+// NewChain enumerates the state space. It returns an error for invalid
+// switches or state spaces larger than maxStates (guarding against
+// accidentally exponential inputs).
+func NewChain(sw core.Switch, maxStates int) (*Chain, error) {
+	return NewChainWithPolicy(sw, maxStates, nil)
+}
+
+// NewChainWithPolicy enumerates the state space of a switch operated
+// under an admission policy. The state space is unchanged (states the
+// policy makes unreachable simply carry zero probability).
+func NewChainWithPolicy(sw core.Switch, maxStates int, policy AdmissionPolicy) (*Chain, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	if n := sw.StateCount(); n > int64(maxStates) {
+		return nil, fmt.Errorf("statespace: %d states exceeds limit %d", n, maxStates)
+	}
+	c := &Chain{Switch: sw, Policy: policy, index: make(map[string]int)}
+	sw.WalkStates(func(k []int) {
+		kk := make([]int, len(k))
+		copy(kk, k)
+		c.index[stateKey(kk)] = len(c.States)
+		c.States = append(c.States, kk)
+	})
+	return c, nil
+}
+
+func stateKey(k []int) string {
+	b := make([]byte, 0, len(k)*3)
+	for _, v := range k {
+		b = append(b, byte(v), byte(v>>8), ',')
+	}
+	return string(b)
+}
+
+// StateIndex returns the position of state k in States, or -1 if k is
+// not feasible.
+func (c *Chain) StateIndex(k []int) int {
+	if i, ok := c.index[stateKey(k)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Rate returns the transition intensity from state k for class r in
+// direction dir (+1 arrival acceptance, -1 departure), or 0 when the
+// destination is infeasible.
+func (c *Chain) Rate(k []int, r, dir int) float64 {
+	sw := c.Switch
+	cl := sw.Classes[r]
+	switch dir {
+	case +1:
+		if c.Policy != nil && !c.Policy(k, r) {
+			return 0
+		}
+		occ := sw.OccupancyOf(k)
+		if occ+cl.A > sw.MinN() {
+			return 0
+		}
+		free := combin.Perm(sw.N1-occ, cl.A) * combin.Perm(sw.N2-occ, cl.A)
+		return free * cl.Rate(k[r])
+	case -1:
+		if k[r] == 0 {
+			return 0
+		}
+		return float64(k[r]) * cl.Mu
+	default:
+		panic(fmt.Sprintf("statespace: Rate direction %d", dir))
+	}
+}
+
+// Generator returns the dense infinitesimal generator matrix Q
+// (row-major, size n x n with n = len(States)): Q[i][j] is the
+// intensity from state i to state j, and rows sum to zero.
+func (c *Chain) Generator() [][]float64 {
+	n := len(c.States)
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+	for i, k := range c.States {
+		dest := make([]int, len(k))
+		for r := range c.Switch.Classes {
+			for _, dir := range []int{+1, -1} {
+				rate := c.Rate(k, r, dir)
+				if rate == 0 {
+					continue
+				}
+				copy(dest, k)
+				dest[r] += dir
+				j := c.StateIndex(dest)
+				if j < 0 {
+					continue
+				}
+				q[i][j] += rate
+				q[i][i] -= rate
+			}
+		}
+	}
+	return q
+}
+
+// Stationary solves pi Q = 0, sum pi = 1 by dense Gaussian elimination
+// with partial pivoting, replacing the last balance equation with the
+// normalization row. The result is the exact steady-state distribution
+// with no product-form assumption.
+func (c *Chain) Stationary() ([]float64, error) {
+	n := len(c.States)
+	q := c.Generator()
+	// Build A^T x = b from x Q = 0: columns of Q become rows.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = q[j][i]
+		}
+	}
+	// Replace the last equation by normalization.
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b[n-1] = 1
+	pi, err := solveDense(a, b)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pi {
+		if p < -1e-9 {
+			return nil, fmt.Errorf("statespace: negative stationary probability %v at state %v", p, c.States[i])
+		}
+		if p < 0 {
+			pi[i] = 0
+		}
+	}
+	return pi, nil
+}
+
+// SolveLinear performs Gaussian elimination with partial pivoting on
+// the system a x = b, destroying a and b. Exported for the other
+// exact-chain packages (hotspot) that build their own generators.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	return solveDense(a, b)
+}
+
+// solveDense performs Gaussian elimination with partial pivoting on the
+// augmented system a x = b, destroying a and b.
+func solveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[p][col]) {
+				p = row
+			}
+		}
+		if a[p][col] == 0 {
+			return nil, fmt.Errorf("statespace: singular system at column %d", col)
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		// Eliminate below.
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a[row][j] -= f * a[col][j]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		s := b[row]
+		for j := row + 1; j < n; j++ {
+			s -= a[row][j] * x[j]
+		}
+		x[row] = s / a[row][row]
+	}
+	return x, nil
+}
+
+// Measures computes the performance measures from an explicit
+// stationary distribution: E_r as the pi-weighted mean of k_r, and the
+// non-blocking probability as the pi-weighted probability that a
+// particular candidate class-r route is idle,
+// P(N1-k.A, a) P(N2-k.A, a) / (P(N1,a) P(N2,a)).
+func (c *Chain) Measures(pi []float64) *core.Result {
+	sw := c.Switch
+	res := &core.Result{
+		Switch:      sw,
+		Method:      "ctmc",
+		NonBlocking: make([]float64, len(sw.Classes)),
+		Blocking:    make([]float64, len(sw.Classes)),
+		Concurrency: make([]float64, len(sw.Classes)),
+	}
+	for i, k := range c.States {
+		occ := sw.OccupancyOf(k)
+		for r, cl := range sw.Classes {
+			res.Concurrency[r] += float64(k[r]) * pi[i]
+			if cl.A <= sw.MinN() {
+				idle := combin.Perm(sw.N1-occ, cl.A) * combin.Perm(sw.N2-occ, cl.A) /
+					(combin.Perm(sw.N1, cl.A) * combin.Perm(sw.N2, cl.A))
+				res.NonBlocking[r] += idle * pi[i]
+			}
+		}
+	}
+	for r, nb := range res.NonBlocking {
+		res.Blocking[r] = 1 - nb
+	}
+	return res
+}
+
+// CallBlocking returns, per class, the probability that an arriving
+// request is lost — rejected by the admission policy or cleared by
+// port contention. Arrivals are weighted by the state-dependent
+// intensity lambda_r(k_r), so the result is exact for BPP classes as
+// well (for Poisson classes it reduces to the PASTA time average).
+func (c *Chain) CallBlocking(pi []float64) []float64 {
+	sw := c.Switch
+	out := make([]float64, len(sw.Classes))
+	for r, cl := range sw.Classes {
+		num, den := 0.0, 0.0
+		for i, k := range c.States {
+			w := pi[i] * cl.Rate(k[r])
+			if w <= 0 {
+				continue
+			}
+			den += w
+			carried := 0.0
+			if (c.Policy == nil || c.Policy(k, r)) && cl.A <= sw.MinN() {
+				occ := sw.OccupancyOf(k)
+				carried = combin.Perm(sw.N1-occ, cl.A) * combin.Perm(sw.N2-occ, cl.A) /
+					(combin.Perm(sw.N1, cl.A) * combin.Perm(sw.N2, cl.A))
+			}
+			num += w * (1 - carried)
+		}
+		if den == 0 {
+			out[r] = 1
+			continue
+		}
+		out[r] = num / den
+	}
+	return out
+}
+
+// DetailedBalanceResidual returns the largest relative violation of
+// pi(k) q(k, k') = pi(k') q(k', k) over all transition pairs — the
+// reversibility claim of Section 2 (Kelly [19] Theorem 1.3).
+func (c *Chain) DetailedBalanceResidual(pi []float64) float64 {
+	worst := 0.0
+	dest := make([]int, len(c.Switch.Classes))
+	for i, k := range c.States {
+		for r := range c.Switch.Classes {
+			up := c.Rate(k, r, +1)
+			if up == 0 {
+				continue
+			}
+			copy(dest, k)
+			dest[r]++
+			j := c.StateIndex(dest)
+			if j < 0 {
+				continue
+			}
+			down := c.Rate(dest, r, -1)
+			flowUp := pi[i] * up
+			flowDown := pi[j] * down
+			den := math.Max(math.Abs(flowUp), math.Abs(flowDown))
+			if den == 0 {
+				continue
+			}
+			if rel := math.Abs(flowUp-flowDown) / den; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}
+
+// GlobalBalanceResidual returns max_j |sum_i pi(i) Q(i,j)| normalized
+// by the largest flow, i.e. how far pi is from solving pi Q = 0.
+func (c *Chain) GlobalBalanceResidual(pi []float64) float64 {
+	q := c.Generator()
+	n := len(pi)
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		s, scale := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			t := pi[i] * q[i][j]
+			s += t
+			if a := math.Abs(t); a > scale {
+				scale = a
+			}
+		}
+		if scale == 0 {
+			continue
+		}
+		if rel := math.Abs(s) / scale; rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// ProductForm returns the paper's product-form distribution Eq. 2
+// evaluated over States, for comparison with Stationary.
+func (c *Chain) ProductForm() []float64 {
+	sw := c.Switch
+	n := len(c.States)
+	w := make([]float64, n)
+	logs := make([]float64, n)
+	maxLog := math.Inf(-1)
+	for i, k := range c.States {
+		occ := sw.OccupancyOf(k)
+		lg := combin.LogPerm(sw.N1, occ) + combin.LogPerm(sw.N2, occ)
+		for r, cl := range sw.Classes {
+			for l := 1; l <= k[r]; l++ {
+				lg += math.Log(cl.Rate(l-1)) - math.Log(float64(l)*cl.Mu)
+			}
+		}
+		logs[i] = lg
+		if lg > maxLog {
+			maxLog = lg
+		}
+	}
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Exp(logs[i] - maxLog)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

@@ -1,0 +1,253 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"xbar/internal/core"
+	"xbar/internal/hotspot"
+)
+
+func TestValidate(t *testing.T) {
+	if err := NewUniform(4, 6).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Matrix{
+		{},
+		{{1, 2}, {1}},     // ragged
+		{{1, -1}, {1, 1}}, // negative
+		{{0, 0}, {1, 1}},  // dead row
+		{{1, 0}, {1, 0}},  // dead column
+		{{math.NaN(), 1}, {1, 1}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid matrix accepted", i)
+		}
+	}
+}
+
+func TestMarginalsAndImbalance(t *testing.T) {
+	m := Matrix{{1, 3}, {2, 2}}
+	rs := m.RowSums()
+	cs := m.ColSums()
+	if rs[0] != 4 || rs[1] != 4 || cs[0] != 3 || cs[1] != 5 {
+		t.Errorf("marginals: rows %v cols %v", rs, cs)
+	}
+	if got := NewUniform(3, 3).Imbalance(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform imbalance %v, want 1", got)
+	}
+	if got := m.Imbalance(); math.Abs(got-5.0/4) > 1e-12 {
+		t.Errorf("imbalance %v, want 1.25", got)
+	}
+}
+
+// TestSinkhornBalances: marginals become uniform, zeros are preserved,
+// and an already-balanced matrix is a fixed point.
+func TestSinkhornBalances(t *testing.T) {
+	m := Matrix{
+		{5, 1, 0},
+		{1, 1, 1},
+		{0, 2, 8},
+	}
+	out, err := m.Sinkhorn(1e-12, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out.RowSums() {
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, s)
+		}
+	}
+	for j, s := range out.ColSums() {
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("col %d sums to %v", j, s)
+		}
+	}
+	if out[0][2] != 0 || out[2][0] != 0 {
+		t.Error("Sinkhorn did not preserve the zero pattern")
+	}
+	if got := out.Imbalance(); math.Abs(got-1) > 1e-6 {
+		t.Errorf("balanced imbalance %v", got)
+	}
+	// Idempotence on the uniform matrix (up to overall scale).
+	u, err := NewUniform(3, 3).Sinkhorn(1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u {
+		for j := range u[i] {
+			if math.Abs(u[i][j]-1.0/3) > 1e-9 {
+				t.Errorf("uniform Sinkhorn[%d][%d] = %v", i, j, u[i][j])
+			}
+		}
+	}
+}
+
+func TestSinkhornRectangular(t *testing.T) {
+	m := Matrix{{2, 1, 1, 4}, {1, 5, 1, 1}}
+	out, err := m.Sinkhorn(1e-12, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out.RowSums() {
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, s)
+		}
+	}
+	for j, s := range out.ColSums() {
+		if math.Abs(s-0.5) > 1e-9 { // N1/N2 = 2/4
+			t.Errorf("col %d sums to %v", j, s)
+		}
+	}
+}
+
+func TestSinkhornArgs(t *testing.T) {
+	if _, err := NewUniform(2, 2).Sinkhorn(0, 10); err == nil {
+		t.Error("zero tol accepted")
+	}
+	if _, err := NewUniform(2, 2).Sinkhorn(1e-9, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := (Matrix{{1, -1}, {1, 1}}).Sinkhorn(1e-9, 10); err == nil {
+		t.Error("invalid matrix accepted")
+	}
+}
+
+// TestUniformMatrixMatchesProductForm: the matrix simulator under a
+// uniform matrix reproduces the paper's model.
+func TestUniformMatrixMatchesProductForm(t *testing.T) {
+	const n, lambda = 5, 3.0
+	want, err := core.Solve(core.Switch{N1: n, N2: n, Classes: []core.Class{{
+		A: 1, Alpha: lambda / (n * n), Mu: 1,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(NewUniform(n, n), SimConfig{
+		Lambda: lambda, Mu: 1, Seed: 1, Warmup: 2000, Horizon: 60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Blocking.Mean-want.Blocking[0]) > 2*res.Blocking.HalfWidth {
+		t.Errorf("blocking %v vs product form %v", res.Blocking, want.Blocking[0])
+	}
+	if math.Abs(res.Concurrency.Mean-want.Concurrency[0]) > 2*res.Concurrency.HalfWidth {
+		t.Errorf("concurrency %v vs product form %v", res.Concurrency, want.Concurrency[0])
+	}
+}
+
+// TestHotColumnMatchesHotspotChain: a matrix with one heavy column is
+// exactly the hotspot model, cross-validating two independent
+// implementations.
+func TestHotColumnMatchesHotspotChain(t *testing.T) {
+	const (
+		n      = 6
+		lambda = 4.0
+		p      = 0.4
+	)
+	// Column 0 carries fraction p; others split 1-p evenly.
+	m := make(Matrix, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][0] = p / n
+		for j := 1; j < n; j++ {
+			m[i][j] = (1 - p) / float64(n*(n-1))
+		}
+	}
+	want, err := hotspot.Solve(hotspot.Model{
+		N1: n, N2: n, Lambda: lambda, Mu: 1, HotFraction: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(m, SimConfig{
+		Lambda: lambda, Mu: 1, Seed: 2, Warmup: 2000, Horizon: 80000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocking := 1 - want.NonBlocking
+	if math.Abs(res.Blocking.Mean-wantBlocking) > 2*res.Blocking.HalfWidth {
+		t.Errorf("matrix sim blocking %v vs hotspot exact %v", res.Blocking, wantBlocking)
+	}
+	if math.Abs(res.Concurrency.Mean-want.MeanBusy) > 2*res.Concurrency.HalfWidth {
+		t.Errorf("matrix sim busy %v vs hotspot exact %v", res.Concurrency, want.MeanBusy)
+	}
+}
+
+// TestSinkhornReducesBlocking: balancing a skewed matrix at the same
+// total load lowers the overall blocking — the load-balancing dividend
+// quantified.
+func TestSinkhornReducesBlocking(t *testing.T) {
+	const n, lambda = 6, 5.0
+	skewed := make(Matrix, n)
+	for i := range skewed {
+		skewed[i] = make([]float64, n)
+		for j := range skewed[i] {
+			skewed[i][j] = 0.2
+		}
+	}
+	// Two heavy rows and one heavy column.
+	for j := 0; j < n; j++ {
+		skewed[0][j] += 3
+	}
+	for i := 0; i < n; i++ {
+		skewed[i][1] += 3
+	}
+	balanced, err := skewed.Sinkhorn(1e-10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSkewed, err := Simulate(skewed, SimConfig{
+		Lambda: lambda, Mu: 1, Seed: 3, Warmup: 2000, Horizon: 80000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBalanced, err := Simulate(balanced, SimConfig{
+		Lambda: lambda, Mu: 1, Seed: 4, Warmup: 2000, Horizon: 80000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBalanced.Blocking.Mean >= resSkewed.Blocking.Mean {
+		t.Errorf("balanced blocking %v should be below skewed %v",
+			resBalanced.Blocking.Mean, resSkewed.Blocking.Mean)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	u := NewUniform(3, 3)
+	if _, err := Simulate(u, SimConfig{Lambda: 0, Mu: 1, Horizon: 10}); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := Simulate(u, SimConfig{Lambda: 1, Mu: 0, Horizon: 10}); err == nil {
+		t.Error("zero mu accepted")
+	}
+	if _, err := Simulate(u, SimConfig{Lambda: 1, Mu: 1, Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Simulate(u, SimConfig{Lambda: 1, Mu: 1, Horizon: 10, Batches: 1}); err == nil {
+		t.Error("single batch accepted")
+	}
+	if _, err := Simulate(Matrix{}, SimConfig{Lambda: 1, Mu: 1, Horizon: 10}); err == nil {
+		t.Error("invalid matrix accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := SimConfig{Lambda: 2, Mu: 1, Seed: 7, Warmup: 100, Horizon: 5000}
+	a, err := Simulate(NewUniform(4, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(NewUniform(4, 4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.Offered != b.Offered {
+		t.Error("same seed diverged")
+	}
+}

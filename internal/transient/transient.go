@@ -1,0 +1,261 @@
+// Package transient computes the time-dependent behaviour of the
+// crossbar chain by uniformization (randomization): how long after a
+// cold start, a load step, or a reconfiguration the switch takes to
+// reach the steady state the paper's formulas describe. The stationary
+// analysis answers "what does the operating point look like"; this
+// package answers "when are we entitled to use it".
+//
+// Uniformization rewrites the CTMC with generator Q as a discrete
+// chain P = I + Q/Lambda subordinated to a Poisson process of rate
+// Lambda >= max_i |Q_ii|:
+//
+//	pi(t) = sum_k e^{-Lambda t} (Lambda t)^k / k! * pi(0) P^k,
+//
+// truncated once the Poisson tail falls below the requested tolerance.
+// Every iterate is a probability vector, so the computation is
+// numerically benign at any t.
+package transient
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/statespace"
+)
+
+// Options tunes the uniformization.
+type Options struct {
+	// Tol is the permitted truncation mass (default 1e-10).
+	Tol float64
+	// MaxSteps caps the Poisson series length (default 1e6).
+	MaxSteps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1_000_000
+	}
+	return o
+}
+
+// EmptyStart returns the distribution concentrated on the empty switch
+// (k = 0), the cold-start initial condition.
+func EmptyStart(chain *statespace.Chain) ([]float64, error) {
+	zero := make([]int, len(chain.Switch.Classes))
+	i := chain.StateIndex(zero)
+	if i < 0 {
+		return nil, fmt.Errorf("transient: empty state not in state space")
+	}
+	pi0 := make([]float64, len(chain.States))
+	pi0[i] = 1
+	return pi0, nil
+}
+
+// StationaryStart returns the stationary distribution of from as an
+// initial condition for a DIFFERENT chain over the same state space —
+// the load-step scenario: the switch has been running under one
+// traffic mix and the mix changes at t = 0. The two chains must share
+// dimensions and per-class bandwidths (their Gamma(N) then coincide).
+func StationaryStart(from, to *statespace.Chain) ([]float64, error) {
+	if len(from.States) != len(to.States) {
+		return nil, fmt.Errorf("transient: state spaces differ (%d vs %d states)",
+			len(from.States), len(to.States))
+	}
+	for i := range from.States {
+		a, b := from.States[i], to.States[i]
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("transient: state %d has different class counts", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return nil, fmt.Errorf("transient: state %d differs (%v vs %v)", i, a, b)
+			}
+		}
+	}
+	return from.Stationary()
+}
+
+// Distributions returns pi(t) for each requested time (which must be
+// non-negative), starting from pi0.
+func Distributions(chain *statespace.Chain, pi0 []float64, times []float64, opts Options) ([][]float64, error) {
+	opts = opts.withDefaults()
+	n := len(chain.States)
+	if len(pi0) != n {
+		return nil, fmt.Errorf("transient: initial vector has %d entries for %d states", len(pi0), n)
+	}
+	sum := 0.0
+	for _, p := range pi0 {
+		if p < 0 {
+			return nil, fmt.Errorf("transient: negative initial probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("transient: initial vector sums to %v", sum)
+	}
+	for _, t := range times {
+		if t < 0 {
+			return nil, fmt.Errorf("transient: negative time %v", t)
+		}
+	}
+
+	q := chain.Generator()
+	lambda := 0.0
+	for i := 0; i < n; i++ {
+		if d := -q[i][i]; d > lambda {
+			lambda = d
+		}
+	}
+	// A chain with no transitions (single absorbing state) is already
+	// stationary.
+	if lambda == 0 {
+		out := make([][]float64, len(times))
+		for i := range out {
+			out[i] = append([]float64(nil), pi0...)
+		}
+		return out, nil
+	}
+	lambda *= 1.02 // slack keeps P's diagonal strictly positive (aperiodic)
+
+	// Dense uniformized matrix P = I + Q/Lambda.
+	p := make([][]float64, n)
+	for i := range p {
+		p[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p[i][j] = q[i][j] / lambda
+		}
+		p[i][i] += 1
+	}
+
+	out := make([][]float64, len(times))
+	for ti, t := range times {
+		res, err := uniformizeAt(p, pi0, lambda*t, opts)
+		if err != nil {
+			return nil, fmt.Errorf("transient: t=%v: %w", t, err)
+		}
+		out[ti] = res
+	}
+	return out, nil
+}
+
+// uniformizeAt evaluates the Poisson mixture at Poisson mean a.
+func uniformizeAt(p [][]float64, pi0 []float64, a float64, opts Options) ([]float64, error) {
+	n := len(pi0)
+	acc := make([]float64, n)
+	cur := append([]float64(nil), pi0...)
+	next := make([]float64, n)
+
+	// Poisson weights by the stable recursion w_0 = e^-a,
+	// w_{k+1} = w_k a/(k+1). For large a, e^-a underflows; scale by
+	// tracking the log weight and renormalizing through the running
+	// remainder instead: we accumulate until the mass covered reaches
+	// 1 - tol, computing weights in log space.
+	logW := -a // log w_0
+	covered := 0.0
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		if w > 0 {
+			for i := 0; i < n; i++ {
+				acc[i] += w * cur[i]
+			}
+			covered += w
+		}
+		if covered >= 1-opts.Tol {
+			break
+		}
+		if k >= opts.MaxSteps {
+			return nil, fmt.Errorf("series did not converge in %d steps (covered %v)", opts.MaxSteps, covered)
+		}
+		// cur = cur * P.
+		for j := 0; j < n; j++ {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			ci := cur[i]
+			if ci == 0 {
+				continue
+			}
+			row := p[i]
+			for j := 0; j < n; j++ {
+				next[j] += ci * row[j]
+			}
+		}
+		cur, next = next, cur
+		logW += math.Log(a / float64(k+1))
+	}
+	// Renormalize the truncated mixture.
+	if covered > 0 {
+		for i := range acc {
+			acc[i] /= covered
+		}
+	}
+	return acc, nil
+}
+
+// BlockingTrajectory returns the class-r blocking probability
+// 1 - B_r as a function of time from the given start, one value per
+// requested time.
+func BlockingTrajectory(chain *statespace.Chain, pi0 []float64, class int, times []float64, opts Options) ([]float64, error) {
+	if class < 0 || class >= len(chain.Switch.Classes) {
+		return nil, fmt.Errorf("transient: class %d of %d", class, len(chain.Switch.Classes))
+	}
+	dists, err := Distributions(chain, pi0, times, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(times))
+	for i, pi := range dists {
+		out[i] = chain.Measures(pi).Blocking[class]
+	}
+	return out, nil
+}
+
+// RelaxationTime estimates the time for the cold-started chain's
+// class-0 blocking to come within frac (e.g. 0.01) of its stationary
+// value, by bisection over [0, tMax]. Returns an error if tMax is not
+// long enough.
+func RelaxationTime(chain *statespace.Chain, frac, tMax float64, opts Options) (float64, error) {
+	if frac <= 0 || frac >= 1 {
+		return 0, fmt.Errorf("transient: frac %v outside (0,1)", frac)
+	}
+	pi0, err := EmptyStart(chain)
+	if err != nil {
+		return 0, err
+	}
+	stat, err := chain.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	target := chain.Measures(stat).Blocking[0]
+	within := func(t float64) (bool, error) {
+		b, err := BlockingTrajectory(chain, pi0, 0, []float64{t}, opts)
+		if err != nil {
+			return false, err
+		}
+		return math.Abs(b[0]-target) <= frac*math.Max(target, 1e-300), nil
+	}
+	ok, err := within(tMax)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("transient: not within %v of stationary by t=%v", frac, tMax)
+	}
+	lo, hi := 0.0, tMax
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		ok, err := within(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

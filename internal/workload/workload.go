@@ -1,0 +1,282 @@
+// Package workload encodes the exact parameter sets of the paper's
+// numerical section (Figures 1-4, Tables 1-2) and runs the analytical
+// model over them, producing the series the figures plot and the rows
+// the tables print. cmd/experiments and the benchmark harness both
+// drive these entry points.
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"xbar/internal/combin"
+	"xbar/internal/core"
+	"xbar/internal/revenue"
+)
+
+// Point is one (N, value) sample of a figure series.
+type Point struct {
+	N     int
+	Value float64
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// FigureNs returns the system sizes the figures sweep: 1..128 in
+// powers of two (the figures' axes are dense, but the powers of two
+// capture the published shape and keep regeneration fast).
+func FigureNs() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }
+
+// Table2Ns returns the sizes of Table 2.
+func Table2Ns() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128, 256} }
+
+// blockingSweep evaluates blocking of the first class for the switch
+// builder at each N. The solves are independent, so they run
+// concurrently (one goroutine per sweep point; the largest N dominates
+// anyway).
+func blockingSweep(ns []int, label string, build func(n int) core.Switch) (Series, error) {
+	s := Series{Label: label, Points: make([]Point, len(ns))}
+	errs := make([]error, len(ns))
+	var wg sync.WaitGroup
+	for i, n := range ns {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			res, err := core.Solve(build(n))
+			if err != nil {
+				errs[i] = fmt.Errorf("workload: %s at N=%d: %w", label, n, err)
+				return
+			}
+			s.Points[i] = Point{N: n, Value: res.Blocking[0]}
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Series{}, err
+		}
+	}
+	return s, nil
+}
+
+// Figure1 reproduces the smooth-traffic figure: one Bernoulli class
+// (R1 = 0, R2 = 1), a = 1, alpha~ = .0024, mu = 1, beta~ from 0 down
+// to -4e-6; the beta~ = 0 (Poisson) curve is the upper bound.
+func Figure1(ns []int) ([]Series, error) {
+	var out []Series
+	for _, bt := range []float64{0, -1e-6, -2e-6, -4e-6} {
+		bt := bt
+		label := fmt.Sprintf("beta~=%g", bt)
+		s, err := blockingSweep(ns, label, func(n int) core.Switch {
+			return core.NewSwitch(n, n, core.AggregateClass{
+				Name: "smooth", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure2 reproduces the peaky-traffic figure: one Pascal class,
+// a = 1, alpha~ = .0024, beta~ rising from 0. The paper does not print
+// its curve betas; these are chosen to show the reported "dramatic
+// impact" ordering.
+func Figure2(ns []int) ([]Series, error) {
+	var out []Series
+	for _, bt := range []float64{0, 0.0012, 0.0024, 0.0048} {
+		bt := bt
+		label := fmt.Sprintf("beta~=%g", bt)
+		s, err := blockingSweep(ns, label, func(n int) core.Switch {
+			return core.NewSwitch(n, n, core.AggregateClass{
+				Name: "peaky", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Figure3 compares one bursty class alone (R1 = 0, R2 = 1) against a
+// Poisson class plus the bursty class (R1 = 1, R2 = 1) at the same
+// total alpha~: the Poisson class shifts the operating point while the
+// beta~ sensitivity stays proportionate.
+func Figure3(ns []int) ([]Series, error) {
+	var out []Series
+	for _, bt := range []float64{0.0012, 0.0024} {
+		bt := bt
+		solo, err := blockingSweep(ns, fmt.Sprintf("R2 only, beta~=%g", bt), func(n int) core.Switch {
+			return core.NewSwitch(n, n, core.AggregateClass{
+				Name: "peaky", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, solo)
+		both, err := blockingSweep(ns, fmt.Sprintf("R1+R2, beta~=%g", bt), func(n int) core.Switch {
+			return core.NewSwitch(n, n,
+				core.AggregateClass{Name: "poisson", A: 1, AlphaTilde: 0.0012, Mu: 1},
+				core.AggregateClass{Name: "peaky", A: 1, AlphaTilde: 0.0012, BetaTilde: bt, Mu: 1},
+			)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, both)
+	}
+	return out, nil
+}
+
+// Table1Row is one row of Table 1: the per-input-set loads that keep
+// the total load constant at tau for bandwidths a=1 and a=2.
+type Table1Row struct {
+	N          int
+	Rho1, Rho2 float64
+}
+
+// Table1Tau is the constant total load of Figure 4 / Table 1.
+const Table1Tau = 0.0048
+
+// Table1 generates the Table 1 rows. The paper's prose states
+// rho~_r = tau / C(N1, a_r), but the printed table follows
+// rho~_r = tau * a_r / (2 C(N1, a_r)) — verified against all ten
+// printed values — so that is the rule implemented here (see
+// EXPERIMENTS.md).
+func Table1(ns []int) []Table1Row {
+	rows := make([]Table1Row, 0, len(ns))
+	for _, n := range ns {
+		rows = append(rows, Table1Row{
+			N:    n,
+			Rho1: Table1Tau * 1 / (2 * combin.Binom(n, 1)),
+			Rho2: Table1Tau * 2 / (2 * combin.Binom(n, 2)),
+		})
+	}
+	return rows
+}
+
+// Figure4Ns returns the sizes Table 1 lists.
+func Figure4Ns() []int { return []int{4, 8, 16, 32, 64} }
+
+// Figure4 compares two Poisson traffic types at constant total load:
+// a=1 versus a=2 (each evaluated separately, as in the paper), showing
+// the extra contention of multi-rate requests.
+func Figure4(ns []int) ([]Series, error) {
+	rows := Table1(ns)
+	one := Series{Label: "a=1"}
+	two := Series{Label: "a=2"}
+	for i, n := range ns {
+		sw1 := core.NewSwitch(n, n, core.AggregateClass{
+			Name: "rho1", A: 1, AlphaTilde: rows[i].Rho1, Mu: 1,
+		})
+		res1, err := core.Solve(sw1)
+		if err != nil {
+			return nil, err
+		}
+		one.Points = append(one.Points, Point{N: n, Value: res1.Blocking[0]})
+
+		sw2 := core.NewSwitch(n, n, core.AggregateClass{
+			Name: "rho2", A: 2, AlphaTilde: rows[i].Rho2, Mu: 1,
+		})
+		res2, err := core.Solve(sw2)
+		if err != nil {
+			return nil, err
+		}
+		two.Points = append(two.Points, Point{N: n, Value: res2.Blocking[0]})
+	}
+	return []Series{one, two}, nil
+}
+
+// Table2Params is one of the paper's three Table 2 parameter sets.
+type Table2Params struct {
+	Set        int
+	Rho1, Rho2 float64 // aggregate (tilde) loads
+	Beta2      float64 // aggregate (tilde) slope of class 2
+	W1, W2     float64 // revenue weights
+}
+
+// Table2Sets returns the three parameter sets of Table 2.
+func Table2Sets() []Table2Params {
+	return []Table2Params{
+		{Set: 1, Rho1: 0.0012, Rho2: 0.0012, Beta2: 0.0012, W1: 1.0, W2: 0.0001},
+		{Set: 2, Rho1: 0.0012, Rho2: 0.0012, Beta2: 0.0036, W1: 1.0, W2: 0.0001},
+		{Set: 3, Rho1: 0.0012, Rho2: 0.0036, Beta2: 0.0012, W1: 1.0, W2: 0.0001},
+	}
+}
+
+// Table2Row is one computed row of Table 2.
+type Table2Row struct {
+	Set       int
+	N         int
+	GradRho1  float64 // dW/d rho_1 (closed form)
+	GradBeta2 float64 // dW/d (beta_2/mu_2) (central difference)
+	Blocking  float64 // blocking probability (the paper's B_r column)
+	W         float64 // average revenue
+}
+
+// Table2Switch builds the switch for a Table 2 parameter set at size n.
+func Table2Switch(p Table2Params, n int) core.Switch {
+	return core.NewSwitch(n, n,
+		core.AggregateClass{Name: "poisson", A: 1, AlphaTilde: p.Rho1, Mu: 1},
+		core.AggregateClass{Name: "bursty", A: 1, AlphaTilde: p.Rho2, BetaTilde: p.Beta2, Mu: 1},
+	)
+}
+
+// Table2 computes the Table 2 rows for one parameter set over the
+// given sizes, one goroutine per row (each row is several full
+// lattice solves for the gradients).
+func Table2(p Table2Params, ns []int) ([]Table2Row, error) {
+	weights := []float64{p.W1, p.W2}
+	rows := make([]Table2Row, len(ns))
+	errs := make([]error, len(ns))
+	var wg sync.WaitGroup
+	for i, n := range ns {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			a, err := revenue.New(Table2Switch(p, n), weights)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			row := Table2Row{
+				Set:      p.Set,
+				N:        n,
+				GradRho1: a.GradientRhoClosed(0),
+				Blocking: a.Result().Blocking[0],
+				W:        a.W(),
+			}
+			if n >= 2 {
+				row.GradBeta2 = a.GradientBetaMu(1, 1e-4)
+			}
+			rows[i] = row
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// DenseFigureNs returns every size 1..128, matching the figures' dense
+// x axes (the powers-of-two sweep is the quick view; this is the
+// publication-fidelity one).
+func DenseFigureNs() []int {
+	ns := make([]int, 128)
+	for i := range ns {
+		ns[i] = i + 1
+	}
+	return ns
+}

@@ -1,0 +1,90 @@
+// Package xbar is a production-quality Go reproduction of
+// "Performance Analysis of an Asynchronous Multi-rate Crossbar with
+// Bursty Traffic" (Stirpe & Pinsky, SIGCOMM 1992): the product-form
+// model of an N1 x N2 asynchronous, unbuffered, circuit-switched
+// crossbar carrying multi-rate Bernoulli–Poisson–Pascal traffic, the
+// paper's two recursive algorithms, the revenue analysis, and the
+// simulation and baseline machinery around them.
+//
+// This package is the public face of the library: it re-exports the
+// model types and the main entry points from the internal packages so
+// downstream modules can depend on a single import path.
+//
+//	sw := xbar.NewSwitch(64, 64,
+//	    xbar.AggregateClass{Name: "calls", A: 1, AlphaTilde: 0.0024, Mu: 1})
+//	res, err := xbar.Solve(sw)
+//
+// The full machinery — exact CTMC, trunk reservation, transient
+// analysis, baselines — lives in the internal packages and is driven
+// through the cmd/ binaries; see README.md for the map.
+package xbar
+
+import (
+	"xbar/internal/core"
+	"xbar/internal/revenue"
+	"xbar/internal/rng"
+	"xbar/internal/sim"
+	"xbar/internal/stats"
+)
+
+// Model types (see internal/core for full documentation).
+type (
+	// Switch is an N1 x N2 asynchronous crossbar with traffic classes
+	// in per-route units.
+	Switch = core.Switch
+	// Class is one traffic class: bandwidth A, BPP intensity
+	// Alpha + Beta*k per ordered route, service rate Mu.
+	Class = core.Class
+	// AggregateClass specifies a class in the paper's per-input-set
+	// ("tilde") units.
+	AggregateClass = core.AggregateClass
+	// Result holds blocking, concurrency and the derived measures.
+	Result = core.Result
+)
+
+// NewSwitch builds a switch from aggregate ("tilde") classes.
+func NewSwitch(n1, n2 int, classes ...AggregateClass) Switch {
+	return core.NewSwitch(n1, n2, classes...)
+}
+
+// Solve evaluates the switch with the paper's Algorithm 1 (the scaled
+// lattice recursion).
+func Solve(sw Switch) (*Result, error) { return core.Solve(sw) }
+
+// SolveMVA evaluates the switch with the paper's Algorithm 2 (the
+// numerically stable mean-value recursion).
+func SolveMVA(sw Switch) (*Result, error) { return core.SolveMVA(sw) }
+
+// SolveDirect evaluates by literal state-space summation (small
+// systems; ground truth).
+func SolveDirect(sw Switch) (*Result, error) { return core.SolveDirect(sw) }
+
+// SolveConvolution evaluates by occupancy convolution and additionally
+// fills Result.Occupancy.
+func SolveConvolution(sw Switch) (*Result, error) { return core.SolveConvolution(sw) }
+
+// Simulation types (see internal/sim).
+type (
+	// SimConfig parameterizes a discrete-event fabric simulation.
+	SimConfig = sim.Config
+	// SimResult reports simulation estimates with confidence
+	// intervals.
+	SimResult = sim.Result
+	// ServiceDist is a holding-time distribution for insensitivity
+	// experiments.
+	ServiceDist = rng.ServiceDist
+	// CI is a confidence interval.
+	CI = stats.CI
+)
+
+// Simulate runs the event-driven fabric simulator.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// RevenueAnalysis evaluates Section 4's weighted-throughput measures.
+type RevenueAnalysis = revenue.Analysis
+
+// NewRevenueAnalysis builds a revenue analysis with one weight per
+// class.
+func NewRevenueAnalysis(sw Switch, weights []float64) (*RevenueAnalysis, error) {
+	return revenue.New(sw, weights)
+}

@@ -1,0 +1,84 @@
+package xbar_test
+
+import (
+	"math"
+	"testing"
+
+	"xbar"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as a downstream
+// module would: build, solve with both algorithms, simulate, and run
+// the revenue analysis.
+func TestFacadeEndToEnd(t *testing.T) {
+	sw := xbar.NewSwitch(8, 8,
+		xbar.AggregateClass{Name: "calls", A: 1, AlphaTilde: 0.01, Mu: 1},
+		xbar.AggregateClass{Name: "bulk", A: 2, AlphaTilde: 0.0005, BetaTilde: 0.0002, Mu: 0.5},
+	)
+	a1, err := xbar.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := xbar.SolveMVA(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := xbar.SolveDirect(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := xbar.SolveConvolution(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range sw.Classes {
+		for _, other := range []*xbar.Result{a2, direct, conv} {
+			if math.Abs(other.Blocking[r]-a1.Blocking[r]) > 1e-9 {
+				t.Errorf("%s blocking[%d] %v != alg1 %v", other.Method, r, other.Blocking[r], a1.Blocking[r])
+			}
+		}
+	}
+	if conv.Occupancy == nil {
+		t.Error("convolution result lacks occupancy distribution")
+	}
+
+	res, err := xbar.Simulate(xbar.SimConfig{
+		Switch: sw, Seed: 1, Warmup: 1000, Horizon: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Classes[0].Concurrency.Mean-a1.Concurrency[0]) > 2*res.Classes[0].Concurrency.HalfWidth {
+		t.Errorf("simulated E %v inconsistent with analytic %v",
+			res.Classes[0].Concurrency, a1.Concurrency[0])
+	}
+
+	an, err := xbar.NewRevenueAnalysis(sw, []float64{1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a1.Concurrency[0] + 0.2*a1.Concurrency[1]
+	if math.Abs(an.W()-want) > 1e-12 {
+		t.Errorf("W = %v, want %v", an.W(), want)
+	}
+}
+
+// TestFacadePerRouteUnits builds a switch in per-route units directly.
+func TestFacadePerRouteUnits(t *testing.T) {
+	sw := xbar.Switch{N1: 3, N2: 3, Classes: []xbar.Class{
+		{Name: "x", A: 1, Alpha: 0.1, Mu: 1},
+	}}
+	res, err := xbar.Solve(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocking[0] <= 0 || res.Blocking[0] >= 1 {
+		t.Errorf("blocking %v", res.Blocking[0])
+	}
+	if res.Utilization() <= 0 {
+		t.Errorf("utilization %v", res.Utilization())
+	}
+	if res.Throughput(0) <= 0 {
+		t.Errorf("throughput %v", res.Throughput(0))
+	}
+}
