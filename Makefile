@@ -3,15 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short cover bench experiments examples clean
+.PHONY: all build vet lint test test-race test-short cover bench experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (docs/STATIC_ANALYSIS.md).
+lint:
+	$(GO) run ./cmd/xbarlint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,166 @@
+// Command xbarlint runs the repo's project-specific static checks
+// (see internal/analyzers and docs/STATIC_ANALYSIS.md) over module
+// packages. It is standard-library only, like the rest of the module.
+//
+// Usage:
+//
+//	xbarlint [flags] [packages]
+//
+// Packages follow go-tool patterns: ./..., dir/..., or plain package
+// directories; the default is ./... from the current directory.
+//
+// Exit codes: 0 when no diagnostics are reported, 1 when at least one
+// diagnostic is reported, 2 on usage or load errors — so CI can gate
+// with `go run ./cmd/xbarlint ./...`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xbar/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("xbarlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+		checks   = fs.String("checks", "", "comma-separated check IDs to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated check IDs to skip")
+		list     = fs.Bool("list", false, "list available checks and exit")
+		typeErrs = fs.Bool("typeerrors", false, "also print soft type-checking errors to stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: xbarlint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected, err := selectAnalyzers(*checks, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "xbarlint:", err)
+		return 2
+	}
+
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "xbarlint:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "xbarlint:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "xbarlint: no packages match the given patterns")
+		return 2
+	}
+
+	cwd, _ := os.Getwd()
+	var all []analyzers.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "xbarlint: %s: %v\n", dir, err)
+			return 2
+		}
+		if *typeErrs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "xbarlint: typecheck: %v\n", terr)
+			}
+		}
+		for _, d := range analyzers.Run(pkg, selected) {
+			d.File = relPath(cwd, d.File)
+			all = append(all, d)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analyzers.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "xbarlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "xbarlint: %d diagnostic(s)\n", len(all))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -checks / -disable flags.
+func selectAnalyzers(checks, disable string) ([]*analyzers.Analyzer, error) {
+	selected := analyzers.All()
+	if checks != "" {
+		selected = nil
+		for _, name := range strings.Split(checks, ",") {
+			name = strings.TrimSpace(name)
+			a := analyzers.ByName(name)
+			if a == nil {
+				return nil, fmt.Errorf("unknown check %q (see -list)", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if disable != "" {
+		skip := make(map[string]bool)
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if analyzers.ByName(name) == nil {
+				return nil, fmt.Errorf("unknown check %q (see -list)", name)
+			}
+			skip[name] = true
+		}
+		var kept []*analyzers.Analyzer
+		for _, a := range selected {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		selected = kept
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no checks selected")
+	}
+	return selected, nil
+}
+
+func relPath(cwd, path string) string {
+	if cwd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xbar/internal/analyzers"
+)
+
+// capture runs run() with stdout and stderr redirected to temp files
+// and returns the exit code and captured stdout.
+func capture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errf, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, out, errf)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// fixture returns a module-relative path to a golden-test fixture dir.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(loader.ModRoot, "internal", "analyzers", "testdata", "src", name)
+}
+
+func TestExitCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole module; skipped in -short")
+	}
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := capture(t, loader.ModRoot+"/...")
+	if code != 0 {
+		t.Errorf("exit code on clean tree = %d, want 0", code)
+	}
+}
+
+func TestExitSeededViolations(t *testing.T) {
+	code, out := capture(t, fixture(t, "floatcmp"))
+	if code != 1 {
+		t.Errorf("exit code on seeded violations = %d, want 1", code)
+	}
+	if !strings.Contains(out, "floatcmp.go:5:") {
+		t.Errorf("output missing file:line position:\n%s", out)
+	}
+}
+
+func TestExitUsageErrors(t *testing.T) {
+	if code, _ := capture(t, "-nosuchflag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _ := capture(t, "-checks", "nosuchcheck", "."); code != 2 {
+		t.Errorf("unknown check: exit %d, want 2", code)
+	}
+	if code, _ := capture(t, filepath.Join(t.TempDir(), "missing")); code != 2 {
+		t.Errorf("missing dir: exit %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out := capture(t, "-json", fixture(t, "errcheck"))
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	var diags []analyzers.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2", len(diags))
+	}
+	for _, d := range diags {
+		if d.Check != "errcheck" || d.Line == 0 || d.File == "" {
+			t.Errorf("malformed diagnostic %+v", d)
+		}
+	}
+}
+
+func TestListChecks(t *testing.T) {
+	code, out := capture(t, "-list")
+	if code != 0 {
+		t.Errorf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"floatcmp", "detrand", "libpanic", "nanguard", "errcheck"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestCheckSelection(t *testing.T) {
+	// The floatcmp fixture is clean for every other analyzer, so
+	// disabling floatcmp must make it pass.
+	if code, _ := capture(t, "-disable", "floatcmp", fixture(t, "floatcmp")); code != 0 {
+		t.Errorf("-disable floatcmp on floatcmp fixture: exit %d, want 0", code)
+	}
+	if code, _ := capture(t, "-checks", "floatcmp", fixture(t, "floatcmp")); code != 1 {
+		t.Errorf("-checks floatcmp on floatcmp fixture: exit %d, want 1", code)
+	}
+}

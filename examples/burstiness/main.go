@@ -82,12 +82,20 @@ func main() {
 	}
 	fmt.Printf("analytic blocking %.6f, concurrency %.6f\n",
 		analytic.Blocking[0], analytic.Concurrency[0])
+	hyper, err := rng.BalancedHyperExp2(1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pareto, err := rng.ParetoWithMean(1, 2.5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	services := []rng.ServiceDist{
 		rng.Exponential{M: 1},
 		rng.Deterministic{M: 1},
 		rng.Erlang{K: 4, M: 1},
-		rng.BalancedHyperExp2(1, 4),
-		rng.ParetoWithMean(1, 2.5),
+		hyper,
+		pareto,
 	}
 	for i, d := range services {
 		res, err := sim.Run(sim.Config{

@@ -1,0 +1,174 @@
+// Package analyzers implements xbarlint's project-specific static
+// checks over the module's Go source. The checks encode the numeric
+// and determinism discipline the reproduction depends on: Algorithm
+// 1's scaled recursion must not silently propagate NaN/Inf, the
+// simulator's insensitivity validation must stay deterministic and
+// seedable through xbar/internal/rng, and float equality must go
+// through the tolerance helpers in xbar/internal/floats.
+//
+// Everything here is standard library only (go/parser, go/ast,
+// go/types, go/token); the module's zero-dependency contract in the
+// Makefile extends to its tooling.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one reported finding with a stable check ID and a
+// file:line:col position.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col: check: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name is the stable check ID used on the command line, in output,
+	// and in //lint:allow directives.
+	Name string
+	// Doc is a one-line description shown by xbarlint -list.
+	Doc string
+	// Run inspects the package in pass and reports diagnostics.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test files. Test files are out of
+	// scope for every check (tests legitimately compare exact floats,
+	// seed ad hoc, and panic).
+	Files []*ast.File
+	// ImportPath is the package's import path; path-scoped checks
+	// (detrand, nanguard) key off it.
+	ImportPath string
+	Pkg        *types.Package
+	Info       *types.Info
+
+	allow *allowIndex
+	out   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a //lint:allow directive
+// for this check covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow != nil && p.allow.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Check:   p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every registered analyzer in stable (alphabetical)
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetRand,
+		ErrcheckLite,
+		FloatCmp,
+		LibPanic,
+		NaNGuard,
+	}
+}
+
+// ByName resolves a check ID; nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the given analyzers to a loaded package and returns the
+// surviving diagnostics sorted by position.
+func Run(pkg *Package, as []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			ImportPath: pkg.ImportPath,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			allow:      allow,
+			out:        &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags
+}
+
+// isFloat reports whether expr has a floating-point (or
+// floating-typed named) type according to the type-checker.
+func isFloat(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether expr is a compile-time constant.
+func isConst(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, function values, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function from the named
+// package (by package path).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

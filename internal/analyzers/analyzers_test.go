@@ -1,0 +1,268 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expected-diagnostic comments in fixture files:
+//
+//	code // want "regexp"
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// golden runs one analyzer over one fixture package (loaded under an
+// explicit import path so path-scoped checks apply) and compares the
+// diagnostics against the // want comments in the fixture sources.
+func golden(t *testing.T, analyzer *Analyzer, fixtureDir, importPath string) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", fixtureDir)
+	pkg, err := loader.LoadDirAs(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture type error: %v", terr)
+	}
+
+	diags := Run(pkg, []*Analyzer{analyzer})
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]Diagnostic)
+	for _, d := range diags {
+		k := key{filepath.Base(d.File), d.Line}
+		got[k] = append(got[k], d)
+	}
+
+	// Collect expectations by scanning the fixture sources directly:
+	// a // want on a line expects exactly one diagnostic there.
+	want := make(map[key]*regexp.Regexp)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+			}
+			want[key{e.Name(), i + 1}] = re
+		}
+	}
+
+	for k, re := range want {
+		ds := got[k]
+		if len(ds) == 0 {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			continue
+		}
+		matched := false
+		for _, d := range ds {
+			if re.MatchString(d.Check + ": " + d.Message) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: diagnostics %v do not match %q", k.file, k.line, ds, re)
+		}
+	}
+	for k, ds := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic %s", k.file, k.line, ds[0])
+		}
+	}
+}
+
+func TestFloatCmpGolden(t *testing.T) {
+	golden(t, FloatCmp, "floatcmp", "xbar/internal/fixtures/floatcmp")
+}
+
+func TestDetRandGolden(t *testing.T) {
+	golden(t, DetRand, "detrand", "xbar/internal/fixtures/detrand")
+}
+
+func TestDetRandScopedToInternal(t *testing.T) {
+	// The same fixture loaded under a non-internal path reports
+	// nothing: detrand only polices internal packages.
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "detrand"), "xbar/examples/detrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{DetRand}); len(diags) != 0 {
+		t.Errorf("detrand fired outside internal/: %v", diags)
+	}
+}
+
+func TestLibPanicGolden(t *testing.T) {
+	golden(t, LibPanic, "libpanic", "xbar/internal/fixtures/libpanic")
+}
+
+func TestNaNGuardGolden(t *testing.T) {
+	golden(t, NaNGuard, "nanguard", "xbar/internal/core")
+}
+
+func TestNaNGuardScopedToNumericCore(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "nanguard"), "xbar/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{NaNGuard}); len(diags) != 0 {
+		t.Errorf("nanguard fired outside the numeric core packages: %v", diags)
+	}
+}
+
+func TestErrcheckGolden(t *testing.T) {
+	golden(t, ErrcheckLite, "errcheck", "xbar/internal/fixtures/errcheck")
+}
+
+func TestByNameAndAll(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) != nil")
+	}
+	for _, expect := range []string{"floatcmp", "detrand", "libpanic", "nanguard", "errcheck"} {
+		if !names[expect] {
+			t.Errorf("missing analyzer %q", expect)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Check: "floatcmp", File: "a.go", Line: 3, Col: 7, Message: "msg"}
+	if got, want := d.String(), "a.go:3:7: floatcmp: msg"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestWholeModuleClean is the repo's own gate: the linter must be
+// clean on the tree it ships in. It mirrors the CI invocation
+// `go run ./cmd/xbarlint ./...`.
+func TestWholeModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{loader.ModRoot + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("expected to find the module's ~30 packages, got %d dirs", len(dirs))
+	}
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		all = append(all, Run(pkg, All())...)
+	}
+	for _, d := range all {
+		t.Errorf("unexpected diagnostic on clean tree: %s", d)
+	}
+}
+
+// TestParseAllow covers the directive parser corner cases.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in    string
+		check string
+		ok    bool
+	}{
+		{"//lint:allow floatcmp reason here", "floatcmp", true},
+		{"// lint:allow libpanic", "libpanic", true},
+		{"//lint:allow", "", false},
+		{"// regular comment", "", false},
+		{"//lint:disable floatcmp", "", false},
+	}
+	for _, c := range cases {
+		check, ok := parseAllow(c.in)
+		if check != c.check || ok != c.ok {
+			t.Errorf("parseAllow(%q) = %q, %v; want %q, %v", c.in, check, ok, c.check, c.ok)
+		}
+	}
+}
+
+// TestExpandSkipsTestdata ensures the walker honors the go tool's
+// directory conventions.
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{loader.ModRoot + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, string(filepath.Separator)+"testdata") {
+			t.Errorf("Expand returned testdata dir %s", d)
+		}
+	}
+}
+
+// TestLoaderPositions sanity-checks that diagnostics carry real
+// file:line positions from the shared FileSet.
+func TestLoaderPositions(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "floatcmp"), "xbar/internal/fixtures/floatcmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, []*Analyzer{FloatCmp})
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics from fixture")
+	}
+	for _, d := range diags {
+		if filepath.Base(d.File) != "floatcmp.go" || d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("bad position in %+v", d)
+		}
+	}
+}

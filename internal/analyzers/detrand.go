@@ -1,0 +1,50 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// DetRand flags nondeterminism sources in internal/ packages: imports
+// of math/rand (v1 or v2) and calls to time.Now. The simulator's
+// validation of the paper's insensitivity claim rests on bit-for-bit
+// reproducible runs, so all randomness must flow through seedable
+// xbar/internal/rng.Stream values and all time through explicit
+// simulated clocks. Wall-clock timing for reports is legitimate but
+// must be annotated with //lint:allow detrand so the exception is
+// visible in review.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "math/rand or time.Now in internal packages; route through xbar/internal/rng",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if !strings.Contains("/"+pass.ImportPath+"/", "/internal/") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in internal package; use the seedable xbar/internal/rng.Stream", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass.Info, call); isPkgFunc(fn, "time", "Now") {
+				pass.Reportf(call.Pos(),
+					"time.Now in internal package; inject a clock or annotate wall-clock reporting with //lint:allow detrand")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,78 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowIndex records //lint:allow directives by file and line. A
+// directive suppresses a check on the line it sits on (trailing
+// comment) or, when it is alone on a line, on the next source line:
+//
+//	//lint:allow libpanic heap invariant, unreachable from user input
+//	panic("eventq: Pop on empty queue")
+//
+// Everything after the check ID is a free-form justification; the
+// check ID "all" suppresses every check.
+type allowIndex struct {
+	// byLine maps file -> line -> set of allowed check names.
+	byLine map[string]map[int]map[string]bool
+}
+
+// buildAllowIndex scans the comments of every file once.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				check, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx.byLine[pos.Filename] = lines
+				}
+				// The directive covers its own line and the next one,
+				// so both trailing and standalone placement work.
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = make(map[string]bool)
+					}
+					lines[ln][check] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts the check ID from a "//lint:allow <check> ..."
+// comment, reporting ok=false for any other comment.
+func parseAllow(text string) (check string, ok bool) {
+	body, found := strings.CutPrefix(text, "//lint:allow")
+	if !found {
+		// Tolerate a space after the slashes.
+		body, found = strings.CutPrefix(text, "// lint:allow")
+		if !found {
+			return "", false
+		}
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+func (idx *allowIndex) allows(check string, pos token.Position) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[pos.Line]
+	return set != nil && (set[check] || set["all"])
+}

@@ -1,0 +1,102 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckLite flags expression statements that call a function
+// returning an error and drop the result on the floor. A silently
+// ignored error from, say, a results writer means an experiment table
+// quietly never lands on disk. The check is deliberately lite: only
+// bare call statements are flagged (not `defer`, not assignments to
+// blank), and the fmt print family plus the never-failing
+// strings.Builder / bytes.Buffer writers are exempt, matching the
+// classic errcheck defaults.
+var ErrcheckLite = &Analyzer{
+	Name: "errcheck",
+	Doc:  "call statement discards an error result",
+	Run:  runErrcheckLite,
+}
+
+// errcheckExemptTypes are receiver types whose Write* methods are
+// documented never to return a non-nil error.
+var errcheckExemptTypes = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+func runErrcheckLite(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !returnsError(pass.Info, call) {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if exemptCallee(fn) {
+				return true
+			}
+			name := "call"
+			if fn != nil {
+				name = fn.Name()
+			}
+			pass.Reportf(call.Pos(), "result of %s discards an error; handle or assign it", name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result type is error or a
+// tuple containing an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptCallee reports whether fn is on the default ignore list: the
+// fmt print family (whose errors are os.Stdout write failures nobody
+// can act on) and methods of never-failing writers.
+func exemptCallee(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return errcheckExemptTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}

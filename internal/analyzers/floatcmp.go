@@ -1,0 +1,42 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags == and != between floating-point operands. Exact
+// float equality is almost never what the numeric code means: the
+// recursions of Algorithm 1 and the convolution solver accumulate
+// rounding at every step, so equality decisions must go through
+// xbar/internal/floats (AlmostEqual / Near / Zero) or, for NaN and
+// Inf, through math.IsNaN / math.IsInf. Comparisons where both sides
+// are compile-time constants are exact by construction and not
+// flagged; test files are out of scope.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "== or != on floating-point operands; use xbar/internal/floats or math.IsNaN/IsInf",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info, be.X) && !isFloat(pass.Info, be.Y) {
+				return true
+			}
+			// A comparison folded at compile time is exact.
+			if isConst(pass.Info, be.X) && isConst(pass.Info, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"%s on float operands; use floats.AlmostEqual/Near/Zero (xbar/internal/floats) or math.IsNaN/IsInf",
+				be.Op)
+			return true
+		})
+	}
+}

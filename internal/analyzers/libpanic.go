@@ -1,0 +1,76 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LibPanic flags panic calls inside the exported API of library
+// (non-main) packages. Exported entry points reachable from user
+// input — CLI flag values, workload files — must return errors the
+// caller can surface; a panic in the middle of a long experiment run
+// throws away every result computed so far. True invariants (heap
+// discipline, exhaustive switches over internal enums) may keep their
+// panic, annotated with //lint:allow libpanic and a justification.
+var LibPanic = &Analyzer{
+	Name: "libpanic",
+	Doc:  "panic in exported library code; return an error or annotate with //lint:allow libpanic",
+	Run:  runLibPanic,
+}
+
+func runLibPanic(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedFunc(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in exported %s; return an error, or annotate an invariant with //lint:allow libpanic", fd.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// exportedFunc reports whether fd is part of the package's exported
+// API: an exported top-level function, or an exported method on an
+// exported receiver type.
+func exportedFunc(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	return exportedRecvType(fd.Recv.List[0].Type)
+}
+
+func exportedRecvType(expr ast.Expr) bool {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return exportedRecvType(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return exportedRecvType(t.X)
+	case *ast.IndexListExpr: // generic receiver T[P1, P2]
+		return exportedRecvType(t.X)
+	case *ast.Ident:
+		return t.IsExported()
+	}
+	return false
+}

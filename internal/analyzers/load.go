@@ -1,0 +1,271 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked (non-test) package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects soft type-checking errors. Analysis still
+	// runs — the type information is simply incomplete where they
+	// occurred — but callers may want to surface them.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of a single module, using
+// only the standard library. Module-internal imports resolve by
+// mapping the import path under the module path onto the module
+// directory tree; everything else (the standard library) resolves
+// through the compiler's default importer.
+type Loader struct {
+	ModRoot string // directory containing go.mod
+	ModPath string // module path declared in go.mod
+	Fset    *token.FileSet
+
+	byDir    map[string]*Package
+	loading  map[string]bool
+	fallback types.Importer
+}
+
+// NewLoader locates the enclosing module of startDir and returns a
+// loader for it.
+func NewLoader(startDir string) (*Loader, error) {
+	root, err := findModuleRoot(startDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		ModRoot:  root,
+		ModPath:  modPath,
+		Fset:     token.NewFileSet(),
+		byDir:    make(map[string]*Package),
+		loading:  make(map[string]bool),
+		fallback: importer.Default(),
+	}, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// Expand resolves command-line package patterns to package
+// directories. Supported forms: "./...", "dir/...", "dir", ".".
+// Directories named testdata or vendor, hidden directories, and
+// directories starting with underscore are skipped, matching the go
+// tool's convention.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil || seen[abs] {
+			return
+		}
+		if hasGoFiles(abs) {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			if base == "" || base == "." {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				if skipDir(d.Name()) && path != base {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %w", pat, err)
+			}
+			continue
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads the package in dir, deriving its import path from the
+// module layout.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirAs(abs, l.importPathFor(abs))
+}
+
+// LoadDirAs loads the package in dir under an explicit import path.
+// The override is what lets the golden tests exercise path-scoped
+// checks (nanguard, detrand) on fixtures living under testdata/.
+func (l *Loader) LoadDirAs(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.byDir[abs]; ok {
+		return pkg, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        abs,
+		Name:       files[0].Name.Name,
+		Fset:       l.Fset,
+		Files:      files,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: moduleImporter{l},
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// With a non-nil Error handler Check keeps going past soft errors;
+	// the returned package is usable even when incomplete.
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.byDir[abs] = pkg
+	return pkg, nil
+}
+
+// importPathFor maps a directory inside the module to its import
+// path.
+func (l *Loader) importPathFor(abs string) string {
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// moduleImporter resolves module-internal imports through the loader
+// and defers the rest to the compiler importer.
+type moduleImporter struct{ l *Loader }
+
+func (m moduleImporter) Import(path string) (*types.Package, error) {
+	mod := m.l.ModPath
+	if path == mod || strings.HasPrefix(path, mod+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, mod), "/")
+		pkg, err := m.l.LoadDirAs(filepath.Join(m.l.ModRoot, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("type-checking %s failed", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.l.fallback.Import(path)
+}

@@ -1,0 +1,27 @@
+// Package detrand holds golden-test fixtures for the detrand check.
+// The test harness loads it under an internal/ import path so the
+// path scoping applies.
+package detrand
+
+import (
+	"math/rand" // want "detrand: import of math/rand in internal package"
+	"time"
+)
+
+func sample() float64 {
+	return rand.Float64()
+}
+
+func stamp() time.Time {
+	return time.Now() // want "detrand: time.Now in internal package"
+}
+
+func elapsed() time.Duration {
+	t0 := time.Now() //lint:allow detrand fixture for wall-clock timing exception
+	return time.Since(t0)
+}
+
+// time.Unix is fine: only Now is nondeterministic.
+func epoch() time.Time {
+	return time.Unix(0, 0)
+}

@@ -1,0 +1,38 @@
+// Package errcheck holds golden-test fixtures for the errcheck check.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error                      { return nil }
+func pair() (int, error)                   { return 0, nil }
+func clean() int                           { return 0 }
+func sink(w *strings.Builder) (int, error) { return w.WriteString("x") }
+
+func body() {
+	fallible() // want "errcheck: result of fallible discards an error"
+	pair()     // want "errcheck: result of pair discards an error"
+
+	// Handled results are fine.
+	if err := fallible(); err != nil {
+		return
+	}
+	_, _ = pair()
+
+	// Error-free calls are fine.
+	clean()
+
+	// The fmt print family is exempt.
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "hi\n")
+
+	// strings.Builder writes never fail and are exempt.
+	var sb strings.Builder
+	sb.WriteString("ok")
+
+	//lint:allow errcheck fixture for the suppression directive
+	fallible()
+}

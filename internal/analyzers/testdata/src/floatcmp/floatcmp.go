@@ -1,0 +1,44 @@
+// Package floatcmp holds golden-test fixtures for the floatcmp check.
+package floatcmp
+
+func comparisons(a, b float64, f float32, n int, s string) bool {
+	if a == b { // want "floatcmp: == on float operands"
+		return true
+	}
+	if a != 0 { // want "floatcmp: != on float operands"
+		return false
+	}
+	if f == 1.5 { // want "floatcmp: == on float operands"
+		return true
+	}
+	// Integer and string comparisons are fine.
+	if n == 3 {
+		return true
+	}
+	if s == "x" {
+		return false
+	}
+	// Both sides compile-time constants: exact by construction.
+	const c = 0.5
+	if c == 0.5 {
+		return true
+	}
+	// Ordered float comparisons are not equality decisions.
+	if a < b || a >= 1.0 {
+		return true
+	}
+	if a == b { //lint:allow floatcmp fixture for the suppression directive
+		return true
+	}
+	//lint:allow floatcmp standalone directive covers the next line
+	if a != b {
+		return false
+	}
+	return false
+}
+
+type meters float64
+
+func namedFloat(x, y meters) bool {
+	return x == y // want "floatcmp: == on float operands"
+}

@@ -1,0 +1,53 @@
+// Package libpanic holds golden-test fixtures for the libpanic check.
+package libpanic
+
+import "fmt"
+
+// Exported panics are flagged.
+func Exported(n int) int {
+	if n < 0 {
+		panic("negative") // want "libpanic: panic in exported Exported"
+	}
+	return n
+}
+
+// Nested function literals inside exported functions are still part
+// of the exported code path.
+func ExportedNested() func() {
+	return func() {
+		panic("nested") // want "libpanic: panic in exported ExportedNested"
+	}
+}
+
+// Unexported functions may panic freely.
+func unexported() {
+	panic("internal invariant")
+}
+
+type Public struct{}
+
+func (Public) Method() {
+	panic("boom") // want "libpanic: panic in exported Method"
+}
+
+// Unexported receiver type: not part of the exported API.
+type hidden struct{}
+
+func (hidden) Method() {
+	panic("fine")
+}
+
+// Annotated invariants are suppressed.
+func Annotated(q []int) int {
+	if len(q) == 0 {
+		//lint:allow libpanic fixture: heap invariant
+		panic("empty")
+	}
+	return q[0]
+}
+
+// Calling something else named panic is not the builtin.
+func NotBuiltin() {
+	panic := func(s string) { fmt.Println(s) }
+	panic("shadowed")
+}

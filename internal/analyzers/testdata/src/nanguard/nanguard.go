@@ -1,0 +1,53 @@
+// Package nanguard holds golden-test fixtures for the nanguard check.
+// The harness loads it under the xbar/internal/core import path so
+// the package scoping applies.
+package nanguard
+
+import "math"
+
+// Unguarded applies a raw exponential with no check and no contract
+// in its comment.
+func Unguarded(x float64) float64 { // want "nanguard: exported Unguarded"
+	return math.Exp(x)
+}
+
+// Ratio divides by a runtime value with no check and no contract in
+// its comment.
+func Ratio(a, b float64) float64 { // want "nanguard: exported Ratio"
+	return a / b
+}
+
+// Guarded checks the result before returning it.
+func Guarded(x float64) float64 {
+	v := math.Log(x)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// DocumentedDomain states its contract: x must be positive.
+func DocumentedDomain(x float64) float64 {
+	return math.Log(x)
+}
+
+// Halve divides by a constant, which cannot poison the result on its
+// own.
+func Halve(x float64) float64 {
+	return x / 2
+}
+
+// IntRatio performs integer division, which is out of scope.
+func IntRatio(a, b int) int {
+	return a / b
+}
+
+// helper is unexported and out of scope.
+func helper(x float64) float64 {
+	return math.Exp(x)
+}
+
+// Classify does not return a float and is out of scope.
+func Classify(x float64) bool {
+	return math.Exp(x) > 1
+}

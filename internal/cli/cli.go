@@ -90,9 +90,9 @@ func ParseService(name string, mean float64) (rng.ServiceDist, error) {
 	case "erlang4":
 		return rng.Erlang{K: 4, M: mean}, nil
 	case "hyper4":
-		return rng.BalancedHyperExp2(mean, 4), nil
+		return rng.BalancedHyperExp2(mean, 4)
 	case "pareto2.5":
-		return rng.ParetoWithMean(mean, 2.5), nil
+		return rng.ParetoWithMean(mean, 2.5)
 	default:
 		return nil, fmt.Errorf("cli: unknown service distribution %q (want one of %s)",
 			name, strings.Join(ServiceNames(), " "))

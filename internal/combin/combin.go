@@ -28,6 +28,7 @@ var intFactorials = [maxExactFactorial + 1]int64{
 // bug in lattice index arithmetic, not a recoverable condition.
 func Factorial(n int) float64 {
 	if n < 0 {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; model parameters are validated before reaching the combinatorial kernel
 		panic(fmt.Sprintf("combin: Factorial(%d): negative argument", n))
 	}
 	if n <= maxExactFactorial {
@@ -45,6 +46,7 @@ func Factorial(n int) float64 {
 // relative) for every n used by the model (n <= a few thousand).
 func LogFactorial(n int) float64 {
 	if n < 0 {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; model parameters are validated before reaching the combinatorial kernel
 		panic(fmt.Sprintf("combin: LogFactorial(%d): negative argument", n))
 	}
 	if n <= maxExactFactorial {
@@ -64,6 +66,7 @@ func LogFactorial(n int) float64 {
 // negative arguments.
 func Perm(n, a int) float64 {
 	if n < 0 || a < 0 {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; model parameters are validated before reaching the combinatorial kernel
 		panic(fmt.Sprintf("combin: Perm(%d, %d): negative argument", n, a))
 	}
 	if a > n {
@@ -81,6 +84,7 @@ func Perm(n, a int) float64 {
 // recursions that call it.
 func LogPerm(n, a int) float64 {
 	if n < 0 || a < 0 || a > n {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; model parameters are validated before reaching the combinatorial kernel
 		panic(fmt.Sprintf("combin: LogPerm(%d, %d): undefined", n, a))
 	}
 	lp := 0.0
@@ -94,6 +98,7 @@ func LogPerm(n, a int) float64 {
 // a > n. It panics on negative arguments.
 func Binom(n, a int) float64 {
 	if n < 0 || a < 0 {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; model parameters are validated before reaching the combinatorial kernel
 		panic(fmt.Sprintf("combin: Binom(%d, %d): negative argument", n, a))
 	}
 	if a > n {
@@ -116,6 +121,7 @@ func Binom(n, a int) float64 {
 // (state-space enumeration bounds).
 func BinomInt(n, a int) int64 {
 	if n < 0 || a < 0 {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; model parameters are validated before reaching the combinatorial kernel
 		panic(fmt.Sprintf("combin: BinomInt(%d, %d): negative argument", n, a))
 	}
 	if a > n {
@@ -135,9 +141,11 @@ func BinomInt(n, a int) int64 {
 		num /= g2
 		m /= g2
 		if m != 1 {
+			//lint:allow libpanic arithmetic invariant of the Pascal-triangle recurrence
 			panic("combin: BinomInt: internal division error")
 		}
 		if c > math.MaxInt64/num {
+			//lint:allow libpanic int64 overflow is a documented capacity limit, like math.MaxInt64
 			panic(fmt.Sprintf("combin: BinomInt(%d, %d): overflow", n, a))
 		}
 		c *= num
@@ -158,6 +166,7 @@ func gcd64(a, b int64) int64 {
 // distribution (paper Section 2). It panics on negative k.
 func GeneralizedBinom(x float64, k int) float64 {
 	if k < 0 {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; model parameters are validated before reaching the combinatorial kernel
 		panic(fmt.Sprintf("combin: GeneralizedBinom(%v, %d): negative k", x, k))
 	}
 	c := 1.0

@@ -152,6 +152,7 @@ func (s *Solver) Result() *Result {
 // lattice or is not positive.
 func (s *Solver) ResultAt(n1, n2 int) *Result {
 	if n1 < 1 || n2 < 1 || n1 > s.sw.N1 || n2 > s.sw.N2 {
+		//lint:allow libpanic out-of-range lattice index is a caller bug, same contract as slice indexing
 		panic(fmt.Sprintf("core: ResultAt(%d, %d) outside solved lattice %dx%d",
 			n1, n2, s.sw.N1, s.sw.N2))
 	}
@@ -285,7 +286,7 @@ func SolveUnscaled(sw Switch) (*Result, error) {
 		}
 	}
 	qn := q[idx(n1max, n2max)]
-	if qn == 0 || math.IsInf(qn, 0) || math.IsNaN(qn) {
+	if qn == 0 || math.IsInf(qn, 0) || math.IsNaN(qn) { //lint:allow floatcmp detects exact underflow-to-zero of the unscaled recursion
 		return nil, fmt.Errorf("core: unscaled Algorithm 1 lost Q(N) to %v at %dx%d; use Solve (dynamic scaling)",
 			qn, n1max, n2max)
 	}

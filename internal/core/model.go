@@ -35,6 +35,7 @@ import (
 
 	"xbar/internal/combin"
 	"xbar/internal/dist"
+	"xbar/internal/floats"
 )
 
 // Class describes one traffic class offered to the switch, in per-route
@@ -58,15 +59,20 @@ type Class struct {
 	Mu float64
 }
 
-// Rho returns the per-route offered load alpha_r / mu_r.
+// Rho returns the per-route offered load alpha_r / mu_r. Mu must be
+// positive (Switch.Validate enforces it), so the ratio is finite.
 func (c Class) Rho() float64 { return c.Alpha / c.Mu }
 
-// BetaMu returns the normalized slope beta_r / mu_r.
+// BetaMu returns the normalized slope beta_r / mu_r. Mu must be
+// positive (Switch.Validate enforces it), so the ratio is finite.
 func (c Class) BetaMu() float64 { return c.Beta / c.Mu }
 
 // IsPoisson reports whether the class belongs to the paper's group R1
-// (beta_r = 0); otherwise it belongs to R2.
-func (c Class) IsPoisson() bool { return c.Beta == 0 }
+// (beta_r = 0); otherwise it belongs to R2. A slope within rounding
+// noise of zero counts as Poisson: the bursty-class formulas divide
+// by beta_r and lose all precision as beta_r -> 0, while the Poisson
+// limit is exact there.
+func (c Class) IsPoisson() bool { return floats.Zero(c.Beta) }
 
 // BPP returns the class's arrival source in dist form.
 func (c Class) BPP() dist.BPP { return dist.BPP{Alpha: c.Alpha, Beta: c.Beta, Mu: c.Mu} }
@@ -108,7 +114,7 @@ type AggregateClass struct {
 // switch with n2 outputs, dividing the tilde intensities by C(n2, a_r).
 func (a AggregateClass) PerRoute(n2 int) Class {
 	scale := combin.Binom(n2, a.A)
-	if scale == 0 {
+	if floats.Zero(scale) { // Binom is either exactly 0 or at least 1
 		// A switch smaller than the bandwidth requirement carries no
 		// class-r traffic at all; keep intensities finite and let the
 		// state space (which admits only k_r = 0) produce E_r = 0.

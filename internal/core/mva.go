@@ -220,6 +220,7 @@ func (s *MVASolver) Result() *Result {
 // the solved ratio lattices.
 func (s *MVASolver) ResultAt(n1, n2 int) *Result {
 	if n1 < 1 || n2 < 1 || n1 > s.sw.N1 || n2 > s.sw.N2 {
+		//lint:allow libpanic out-of-range lattice index is a caller bug, same contract as slice indexing
 		panic(fmt.Sprintf("core: ResultAt(%d, %d) outside solved lattice %dx%d",
 			n1, n2, s.sw.N1, s.sw.N2))
 	}

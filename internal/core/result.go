@@ -45,6 +45,7 @@ type Result struct {
 // calling it on another evaluator's result is a programming error.
 func (r *Result) CarriedPeakedness(class int) float64 {
 	if r.ClassMarginals == nil {
+		//lint:allow libpanic documented usage contract: marginals exist only for the convolution evaluator
 		panic("core: CarriedPeakedness needs ClassMarginals (use SolveConvolution)")
 	}
 	m := r.ClassMarginals[class]
@@ -53,7 +54,7 @@ func (r *Result) CarriedPeakedness(class int) float64 {
 		mean += float64(j) * p
 		second += float64(j) * float64(j) * p
 	}
-	if mean == 0 {
+	if mean == 0 { //lint:allow floatcmp guards exact division by zero; a tiny nonzero mean stays a well-conditioned same-scale ratio
 		return 0
 	}
 	return (second - mean*mean) / mean
@@ -65,7 +66,9 @@ func (r *Result) Throughput(class int) float64 {
 }
 
 // Utilization returns the mean fraction of the switch's occupancy
-// capacity in use: sum_r a_r E_r / min(N1, N2).
+// capacity in use: sum_r a_r E_r / min(N1, N2). The switch dimensions
+// must be positive (Switch.Validate enforces it), so the divisor is
+// at least 1.
 func (r *Result) Utilization() float64 {
 	busy := 0.0
 	for i, c := range r.Switch.Classes {
@@ -78,6 +81,7 @@ func (r *Result) Utilization() float64 {
 // (paper Section 4). The weights slice must have one entry per class.
 func (r *Result) Revenue(weights []float64) float64 {
 	if len(weights) != len(r.Concurrency) {
+		//lint:allow libpanic weight/class arity mismatch is a programming error, like a mis-sized matrix
 		panic(fmt.Sprintf("core: Revenue: %d weights for %d classes", len(weights), len(r.Concurrency)))
 	}
 	w := 0.0

@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"xbar/internal/combin"
+	"xbar/internal/floats"
 )
 
 // Traffic classifies a BPP source by its peakedness.
@@ -66,23 +67,31 @@ type BPP struct {
 // parameterization within the population bound.
 func (b BPP) Rate(k int) float64 { return b.Alpha + b.Beta*float64(k) }
 
-// Rho returns the offered load alpha/mu.
+// Rho returns the offered load alpha/mu. Mu must be positive
+// (Validate enforces it), so the ratio is finite.
 func (b BPP) Rho() float64 { return b.Alpha / b.Mu }
 
-// B returns the normalized slope beta/mu.
+// B returns the normalized slope beta/mu. Mu must be positive
+// (Validate enforces it), so the ratio is finite.
 func (b BPP) B() float64 { return b.Beta / b.Mu }
 
 // Mean returns the mean M = rho/(1-b) of the busy-server count on an
-// infinite server group (paper Section 2 with mu = 1).
+// infinite server group (paper Section 2 with mu = 1). The slope must
+// satisfy b < 1 (Validate enforces it), so the denominator is
+// positive.
 func (b BPP) Mean() float64 { return b.Rho() / (1 - b.B()) }
 
 // Variance returns V = rho/(1-b)^2 of the infinite-server busy count.
+// The slope must satisfy b < 1 (Validate enforces it), so the
+// denominator is positive.
 func (b BPP) Variance() float64 {
 	d := 1 - b.B()
 	return b.Rho() / (d * d)
 }
 
-// Peakedness returns the Z-factor Z = V/M = 1/(1-b).
+// Peakedness returns the Z-factor Z = V/M = 1/(1-b). The slope must
+// satisfy b < 1 (Validate enforces the Pascal convergence bound), so
+// the denominator is positive.
 func (b BPP) Peakedness() float64 { return 1 / (1 - b.B()) }
 
 // Traffic classifies the source as Smooth, Regular, or Peaky.
@@ -101,6 +110,7 @@ func (b BPP) Traffic() Traffic {
 // It is only meaningful for Smooth traffic and panics otherwise.
 func (b BPP) Population() float64 {
 	if b.Beta >= 0 {
+		//lint:allow libpanic documented domain precondition; internal callers guard on Beta < 0
 		panic("dist: Population is defined only for smooth (beta < 0) sources")
 	}
 	return -b.Alpha / b.Beta
@@ -156,7 +166,10 @@ func FitMeanPeakedness(m, z, mu float64) (BPP, error) {
 
 // InfiniteServerPMF returns the probability of k busy servers when the
 // source is offered to an infinite server group, i.e. the defining
-// Binomial/Poisson/Pascal distribution of the BPP family.
+// Binomial/Poisson/Pascal distribution of the BPP family. The
+// parameters must satisfy Validate, which keeps every branch of the
+// closed form inside its domain (b < 1 for Pascal, integer population
+// for Bernoulli).
 func (b BPP) InfiniteServerPMF(k int) float64 {
 	if k < 0 {
 		return 0
@@ -180,12 +193,15 @@ func (b BPP) InfiniteServerPMF(k int) float64 {
 }
 
 // PoissonPMF returns e^-m m^k / k! computed in log space for stability
-// at large k.
+// at large k. The mean m must be non-negative; the m = 0 limit takes
+// the exact degenerate branch.
 func PoissonPMF(m float64, k int) float64 {
 	if k < 0 {
 		return 0
 	}
-	if m == 0 {
+	if floats.Zero(m) {
+		// The m -> 0 limit concentrates all mass at k = 0; taking it
+		// explicitly also keeps math.Log(m) out of the formula below.
 		if k == 0 {
 			return 1
 		}
@@ -194,7 +210,10 @@ func PoissonPMF(m float64, k int) float64 {
 	return math.Exp(-m + float64(k)*math.Log(m) - combin.LogFactorial(k))
 }
 
-// BinomialPMF returns C(n,k) p^k (1-p)^(n-k).
+// BinomialPMF returns C(n,k) p^k (1-p)^(n-k). The success
+// probability p must lie in [0, 1]; the boundary values take the
+// exact degenerate branches, keeping the log-space form inside its
+// domain.
 func BinomialPMF(n int, p float64, k int) float64 {
 	if k < 0 || k > n {
 		return 0

@@ -45,6 +45,7 @@ func (q *Queue[T]) PeekTime() (at float64, ok bool) {
 // queue — popping nothing is always a simulator logic error.
 func (q *Queue[T]) Pop() (at float64, v T) {
 	if len(q.items) == 0 {
+		//lint:allow libpanic heap discipline invariant, same contract as container/heap
 		panic("eventq: Pop on empty queue")
 	}
 	top := q.items[0]

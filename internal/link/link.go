@@ -17,6 +17,7 @@ import (
 
 	"xbar/internal/combin"
 	"xbar/internal/core"
+	"xbar/internal/floats"
 	"xbar/internal/scale"
 )
 
@@ -25,9 +26,11 @@ import (
 // recursion B(0) = 1, B(n) = rho B(n-1) / (n + rho B(n-1)).
 func ErlangB(c int, rho float64) float64 {
 	if c < 0 {
+		//lint:allow libpanic documented domain precondition, stdlib math convention; capacities are validated at config parse time
 		panic(fmt.Sprintf("link: ErlangB(%d)", c))
 	}
 	if rho < 0 {
+		//lint:allow libpanic documented domain precondition; offered loads are validated at config parse time
 		panic(fmt.Sprintf("link: ErlangB rho = %v", rho))
 	}
 	b := 1.0
@@ -257,7 +260,7 @@ func Delbrouck(l Link) (occupancy []float64, blocking []float64, err error) {
 				continue
 			}
 			rho := c.Alpha / c.Mu
-			if c.Beta == 0 {
+			if floats.Zero(c.Beta) { // same Poisson classification as core.Class.IsPoisson
 				acc += float64(c.A) * rho * g[s-c.A]
 			} else {
 				acc += float64(c.A) * rho * v[r][s]

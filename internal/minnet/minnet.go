@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"xbar/internal/floats"
 	"xbar/internal/rng"
 	"xbar/internal/stats"
 )
@@ -186,7 +187,7 @@ func CrossbarAdvantage(n int, p float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if minT == 0 {
+	if floats.Zero(minT) {
 		return math.Inf(1), nil
 	}
 	xbarT := 1 - math.Pow(1-p/float64(n), float64(n))

@@ -26,6 +26,7 @@ import (
 	"xbar/internal/core"
 	"xbar/internal/dist"
 	"xbar/internal/eventq"
+	"xbar/internal/floats"
 	"xbar/internal/link"
 	"xbar/internal/rng"
 	"xbar/internal/stats"
@@ -291,7 +292,7 @@ func SecondaryBPPCallCongestion(secondaryN int, mean, z, mu float64) (float64, e
 		num += w[k] * rate * blockProb
 		den += w[k] * rate
 	}
-	if den == 0 {
+	if floats.Zero(den) {
 		return 1, nil
 	}
 	return num / den, nil

@@ -9,6 +9,7 @@ import (
 	"math"
 	"strings"
 
+	"xbar/internal/floats"
 	"xbar/internal/workload"
 )
 
@@ -104,7 +105,9 @@ func Chart(w io.Writer, title string, series []workload.Series, height int) erro
 	if maxLen == 0 {
 		return fmt.Errorf("report: no points to chart")
 	}
-	if hi == lo {
+	if floats.Near(hi, lo) {
+		// A flat (or nearly flat) series would make the row-scaling
+		// divide by ~0; widen to a unit band instead.
 		hi = lo + 1
 	}
 	const colWidth = 6
@@ -171,7 +174,7 @@ func Chart(w io.Writer, title string, series []workload.Series, height int) erro
 // use.
 func FormatFloat(v float64) string {
 	switch {
-	case v == 0:
+	case v == 0: //lint:allow floatcmp formatting decision on the exact value; tiny magnitudes must print their magnitude
 		return "0"
 	case math.Abs(v) >= 0.01 && math.Abs(v) < 1e6:
 		return fmt.Sprintf("%.6g", v)

@@ -68,6 +68,7 @@ func (s *Stream) Float64() float64 {
 // Intn returns a uniform integer in [0, n). It panics for n <= 0.
 func (s *Stream) Intn(n int) int {
 	if n <= 0 {
+		//lint:allow libpanic hot-path sampling primitive; n <= 0 is a caller bug, like a slice bound
 		panic(fmt.Sprintf("rng: Intn(%d)", n))
 	}
 	// Lemire's multiply-shift rejection method, unbiased.
@@ -93,9 +94,11 @@ func mul64(a, b uint64) (hi, lo uint64) {
 	return aHi*bHi + w2 + (w1 >> 32), a * b
 }
 
-// Exp returns an exponential variate with the given rate (mean 1/rate).
+// Exp returns an exponential variate with the given rate (mean
+// 1/rate). It panics for rate <= 0.
 func (s *Stream) Exp(rate float64) float64 {
 	if rate <= 0 {
+		//lint:allow libpanic hot-path sampling primitive; a non-positive rate is a caller bug
 		panic(fmt.Sprintf("rng: Exp(rate=%v)", rate))
 	}
 	u := s.Float64()
@@ -135,8 +138,12 @@ type Erlang struct {
 	M float64
 }
 
+// Sample draws one Erlang-K variate. It panics if K < 1: Sample
+// implements ServiceDist, whose signature has no error channel, so
+// the K constraint must hold at construction.
 func (d Erlang) Sample(s *Stream) float64 {
 	if d.K < 1 {
+		//lint:allow libpanic ServiceDist interface method has no error return; K is a construction-time constraint
 		panic("rng: Erlang needs K >= 1")
 	}
 	rate := float64(d.K) / d.M
@@ -167,13 +174,17 @@ func (d HyperExp2) Name() string  { return "hyperexp-2" }
 
 // BalancedHyperExp2 builds a HyperExp2 with the given mean and squared
 // coefficient of variation scv > 1, using balanced means
-// (p/r1 = (1-p)/r2).
-func BalancedHyperExp2(mean, scv float64) HyperExp2 {
+// (p/r1 = (1-p)/r2). Both parameters typically arrive from user
+// scenario specs, so violations are reported as errors.
+func BalancedHyperExp2(mean, scv float64) (HyperExp2, error) {
+	if mean <= 0 {
+		return HyperExp2{}, fmt.Errorf("rng: BalancedHyperExp2 needs mean > 0, got %v", mean)
+	}
 	if scv <= 1 {
-		panic(fmt.Sprintf("rng: BalancedHyperExp2 needs scv > 1, got %v", scv))
+		return HyperExp2{}, fmt.Errorf("rng: BalancedHyperExp2 needs scv > 1, got %v", scv)
 	}
 	p := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
-	return HyperExp2{P: p, R1: 2 * p / mean, R2: 2 * (1 - p) / mean}
+	return HyperExp2{P: p, R1: 2 * p / mean, R2: 2 * (1 - p) / mean}, nil
 }
 
 // UniformDist is uniform on [Lo, Hi].
@@ -203,9 +214,15 @@ func (d Pareto) Mean() float64 {
 func (d Pareto) Name() string { return "pareto" }
 
 // ParetoWithMean returns a Pareto with the given mean and shape.
-func ParetoWithMean(mean, alpha float64) Pareto {
-	if alpha <= 1 {
-		panic(fmt.Sprintf("rng: ParetoWithMean needs alpha > 1, got %v", alpha))
+// alpha must exceed 1 for the mean to be finite; like the other
+// distribution constructors it reports bad user-supplied parameters
+// as errors.
+func ParetoWithMean(mean, alpha float64) (Pareto, error) {
+	if mean <= 0 {
+		return Pareto{}, fmt.Errorf("rng: ParetoWithMean needs mean > 0, got %v", mean)
 	}
-	return Pareto{Alpha: alpha, Xm: mean * (alpha - 1) / alpha}
+	if alpha <= 1 {
+		return Pareto{}, fmt.Errorf("rng: ParetoWithMean needs alpha > 1, got %v", alpha)
+	}
+	return Pareto{Alpha: alpha, Xm: mean * (alpha - 1) / alpha}, nil
 }

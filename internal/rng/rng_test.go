@@ -138,13 +138,21 @@ func sampleMoments(d ServiceDist, n int, seed uint64) (mean, scv float64) {
 // declared Mean(), the property the insensitivity experiments rely on.
 func TestServiceDistMeans(t *testing.T) {
 	const m = 1.7
+	hyp, err := BalancedHyperExp2(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParetoWithMean(m, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dists := []ServiceDist{
 		Exponential{M: m},
 		Deterministic{M: m},
 		Erlang{K: 4, M: m},
-		BalancedHyperExp2(m, 4),
+		hyp,
 		UniformDist{Lo: 0.7, Hi: 2.7},
-		ParetoWithMean(m, 2.5),
+		par,
 	}
 	for _, d := range dists {
 		if math.Abs(d.Mean()-m) > 1e-9 {
@@ -168,7 +176,11 @@ func TestServiceDistVariability(t *testing.T) {
 	_, scvDet := sampleMoments(Deterministic{M: m}, 10000, 1)
 	_, scvErl := sampleMoments(Erlang{K: 4, M: m}, 200000, 2)
 	_, scvExp := sampleMoments(Exponential{M: m}, 200000, 3)
-	_, scvHyp := sampleMoments(BalancedHyperExp2(m, 4), 200000, 4)
+	hyp, err := BalancedHyperExp2(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, scvHyp := sampleMoments(hyp, 200000, 4)
 	if !(scvDet < scvErl && scvErl < scvExp && scvExp < scvHyp) {
 		t.Errorf("scv ordering violated: det=%v erl=%v exp=%v hyp=%v",
 			scvDet, scvErl, scvExp, scvHyp)
@@ -190,22 +202,22 @@ func TestErlangPanics(t *testing.T) {
 	Erlang{K: 0, M: 1}.Sample(NewStream(1))
 }
 
-func TestBalancedHyperExp2Panics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("scv <= 1 did not panic")
-		}
-	}()
-	BalancedHyperExp2(1, 0.5)
+func TestBalancedHyperExp2Errors(t *testing.T) {
+	if _, err := BalancedHyperExp2(1, 0.5); err == nil {
+		t.Error("scv <= 1 accepted")
+	}
+	if _, err := BalancedHyperExp2(-1, 4); err == nil {
+		t.Error("negative mean accepted")
+	}
 }
 
-func TestParetoWithMeanPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("alpha <= 1 did not panic")
-		}
-	}()
-	ParetoWithMean(1, 1)
+func TestParetoWithMeanErrors(t *testing.T) {
+	if _, err := ParetoWithMean(1, 1); err == nil {
+		t.Error("alpha <= 1 accepted")
+	}
+	if _, err := ParetoWithMean(0, 2.5); err == nil {
+		t.Error("zero mean accepted")
+	}
 }
 
 func TestParetoInfiniteMean(t *testing.T) {

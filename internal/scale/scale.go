@@ -34,9 +34,10 @@ var One = Number{frac: 0.5, exp: 1}
 // silently propagating them would corrupt every downstream measure.
 func FromFloat64(f float64) Number {
 	if math.IsNaN(f) || math.IsInf(f, 0) {
+		//lint:allow libpanic a non-finite argument is an upstream logic error; propagating it silently would corrupt every downstream measure
 		panic(fmt.Sprintf("scale: FromFloat64(%v): non-finite argument", f))
 	}
-	if f == 0 {
+	if f == 0 { //lint:allow floatcmp exact zero maps to the canonical Zero; subnormals must stay nonzero
 		return Number{}
 	}
 	frac, exp := math.Frexp(f)
@@ -48,6 +49,7 @@ func FromFloat64(f float64) Number {
 // exponent range.
 func FromLog(x float64) Number {
 	if math.IsNaN(x) {
+		//lint:allow libpanic NaN log-space input is an upstream logic error, same contract as FromFloat64
 		panic("scale: FromLog(NaN)")
 	}
 	// e^x = 2^(x/ln 2); split into integer exponent and fractional part.
@@ -61,15 +63,19 @@ func FromLog(x float64) Number {
 // norm renormalizes so that |frac| is in [0.5, 1), or returns Zero for a
 // zero fraction.
 func (n Number) norm() Number {
-	if n.frac == 0 {
+	if n.IsZero() {
 		return Number{}
 	}
 	f, e := math.Frexp(n.frac)
 	return Number{frac: f, exp: n.exp + e}
 }
 
-// IsZero reports whether n is 0.
-func (n Number) IsZero() bool { return n.frac == 0 }
+// IsZero reports whether n is 0. The scaled representation keeps
+// frac == 0 as the single exact encoding of zero, so the comparison
+// is a representation test, not a numeric tolerance decision.
+func (n Number) IsZero() bool {
+	return n.frac == 0 //lint:allow floatcmp frac == 0 is the canonical exact representation of Zero
+}
 
 // Sign returns -1, 0, or +1 according to the sign of n.
 func (n Number) Sign() int {
@@ -88,7 +94,7 @@ func (n Number) Neg() Number { return Number{frac: -n.frac, exp: n.exp} }
 
 // Mul returns n * m.
 func (n Number) Mul(m Number) Number {
-	if n.frac == 0 || m.frac == 0 {
+	if n.IsZero() || m.IsZero() {
 		return Number{}
 	}
 	return Number{frac: n.frac * m.frac, exp: n.exp + m.exp}.norm()
@@ -101,10 +107,11 @@ func (n Number) MulFloat(f float64) Number {
 
 // Div returns n / m. It panics when m is zero.
 func (n Number) Div(m Number) Number {
-	if m.frac == 0 {
+	if m.IsZero() {
+		//lint:allow libpanic same contract as native float64 division by an exact zero; Q-ratios divide by provably positive normalizers
 		panic("scale: division by zero")
 	}
-	if n.frac == 0 {
+	if n.IsZero() {
 		return Number{}
 	}
 	return Number{frac: n.frac / m.frac, exp: n.exp - m.exp}.norm()
@@ -119,10 +126,10 @@ func (n Number) DivFloat(f float64) Number {
 // the float64 mantissa can express (~2^60), the smaller operand is
 // absorbed, exactly as it would be in unscaled float64 addition.
 func (n Number) Add(m Number) Number {
-	if n.frac == 0 {
+	if n.IsZero() {
 		return m
 	}
-	if m.frac == 0 {
+	if m.IsZero() {
 		return n
 	}
 	// Align to the larger exponent.
@@ -149,7 +156,7 @@ func (n Number) Cmp(m Number) int {
 // Float64 converts n to a float64, returning 0 on underflow and ±Inf on
 // overflow of the float64 exponent range.
 func (n Number) Float64() float64 {
-	if n.frac == 0 {
+	if n.IsZero() {
 		return 0
 	}
 	return math.Ldexp(n.frac, n.exp)
@@ -158,6 +165,7 @@ func (n Number) Float64() float64 {
 // Log returns ln(n). It panics for n <= 0.
 func (n Number) Log() float64 {
 	if n.frac <= 0 {
+		//lint:allow libpanic same domain contract as math.Log; callers take logs only of strictly positive Q values
 		panic(fmt.Sprintf("scale: Log of non-positive number %v", n))
 	}
 	return math.Log(n.frac) + float64(n.exp)*math.Ln2
@@ -171,7 +179,7 @@ func (n Number) Ratio(m Number) float64 {
 
 // String formats n in scientific notation for diagnostics.
 func (n Number) String() string {
-	if n.frac == 0 {
+	if n.IsZero() {
 		return "0"
 	}
 	// value = frac * 2^exp; express as d * 10^e.

@@ -169,11 +169,19 @@ func TestInsensitivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	hyper, err := rng.BalancedHyperExp2(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pareto, err := rng.ParetoWithMean(0.5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dists := []rng.ServiceDist{
 		rng.Deterministic{M: 0.5},
 		rng.Erlang{K: 4, M: 0.5},
-		rng.BalancedHyperExp2(0.5, 4),
-		rng.ParetoWithMean(0.5, 2.5),
+		hyper,
+		pareto,
 	}
 	for i, d := range dists {
 		res := runFor(t, sw, 100+uint64(i), 60000, []rng.ServiceDist{d})

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"xbar/internal/floats"
 	"xbar/internal/rng"
 	"xbar/internal/stats"
 )
@@ -26,23 +27,34 @@ import (
 //
 // The normalized per-input throughput is (m/n) S_out and the
 // acceptance probability of an offered packet is S_out * m/(n p).
-func Throughput(n, m int, p float64) float64 {
+// The switch dimensions must be positive and p must lie in [0, 1];
+// both come straight from user scenario parameters, so violations are
+// reported as errors rather than panics.
+func Throughput(n, m int, p float64) (float64, error) {
 	if n < 1 || m < 1 {
-		panic(fmt.Sprintf("slotted: Throughput(%d, %d)", n, m))
+		return 0, fmt.Errorf("slotted: Throughput(%d, %d): dimensions must be positive", n, m)
 	}
 	if p < 0 || p > 1 {
-		panic(fmt.Sprintf("slotted: load %v outside [0,1]", p))
+		return 0, fmt.Errorf("slotted: load %v outside [0,1]", p)
 	}
-	return 1 - math.Pow(1-p/float64(m), float64(n))
+	return 1 - math.Pow(1-p/float64(m), float64(n)), nil
 }
 
 // AcceptanceProbability returns the probability that an offered packet
-// wins its output in a slot.
-func AcceptanceProbability(n, m int, p float64) float64 {
-	if p == 0 {
-		return 1
+// wins its output in a slot. A load within rounding noise of zero
+// offers no packets, so (in the limit) every offered packet is
+// accepted; treating tiny p as zero also avoids the catastrophic
+// cancellation of 1 - (1-p/m)^n when p/m underflows the float64
+// mantissa.
+func AcceptanceProbability(n, m int, p float64) (float64, error) {
+	if floats.Zero(p) {
+		return 1, nil
 	}
-	return Throughput(n, m, p) * float64(m) / (float64(n) * p)
+	t, err := Throughput(n, m, p)
+	if err != nil {
+		return 0, err
+	}
+	return t * float64(m) / (float64(n) * p), nil
 }
 
 // Result summarizes a slotted simulation.

@@ -5,23 +5,42 @@ import (
 	"testing"
 )
 
+// throughput is a test helper that fails on validation errors.
+func throughput(t *testing.T, n, m int, p float64) float64 {
+	t.Helper()
+	s, err := Throughput(n, m, p)
+	if err != nil {
+		t.Fatalf("Throughput(%d, %d, %v): %v", n, m, p, err)
+	}
+	return s
+}
+
+func acceptance(t *testing.T, n, m int, p float64) float64 {
+	t.Helper()
+	a, err := AcceptanceProbability(n, m, p)
+	if err != nil {
+		t.Fatalf("AcceptanceProbability(%d, %d, %v): %v", n, m, p, err)
+	}
+	return a
+}
+
 func TestThroughputClosedForm(t *testing.T) {
 	// 1x1 at p=1: exactly one packet, always accepted.
-	if got := Throughput(1, 1, 1); got != 1 {
+	if got := throughput(t, 1, 1, 1); got != 1 {
 		t.Errorf("Throughput(1,1,1) = %v", got)
 	}
 	// Zero load: zero throughput.
-	if got := Throughput(8, 8, 0); got != 0 {
+	if got := throughput(t, 8, 8, 0); got != 0 {
 		t.Errorf("Throughput at p=0 = %v", got)
 	}
 	// Saturated large switch approaches 1 - 1/e ~ 0.632.
-	if got := Throughput(1024, 1024, 1); math.Abs(got-(1-1/math.E)) > 1e-3 {
+	if got := throughput(t, 1024, 1024, 1); math.Abs(got-(1-1/math.E)) > 1e-3 {
 		t.Errorf("saturated throughput %v, want ~%v", got, 1-1/math.E)
 	}
 	// Monotone in p.
 	prev := -1.0
 	for _, p := range []float64{0.1, 0.3, 0.5, 0.9} {
-		s := Throughput(16, 16, p)
+		s := throughput(t, 16, 16, p)
 		if s <= prev {
 			t.Errorf("throughput not increasing at p=%v", p)
 		}
@@ -30,15 +49,20 @@ func TestThroughputClosedForm(t *testing.T) {
 }
 
 func TestAcceptanceProbability(t *testing.T) {
-	if got := AcceptanceProbability(8, 8, 0); got != 1 {
+	if got := acceptance(t, 8, 8, 0); got != 1 {
 		t.Errorf("acceptance at p=0 = %v, want 1", got)
 	}
+	// A load below the zero tolerance behaves like zero rather than
+	// falling into the cancellation-prone closed form.
+	if got := acceptance(t, 8, 8, 1e-300); got != 1 {
+		t.Errorf("acceptance at p=1e-300 = %v, want 1", got)
+	}
 	// Acceptance falls with load.
-	if !(AcceptanceProbability(8, 8, 0.9) < AcceptanceProbability(8, 8, 0.1)) {
+	if !(acceptance(t, 8, 8, 0.9) < acceptance(t, 8, 8, 0.1)) {
 		t.Error("acceptance should fall with load")
 	}
 	// More outputs than inputs raises acceptance.
-	if !(AcceptanceProbability(8, 32, 0.9) > AcceptanceProbability(8, 8, 0.9)) {
+	if !(acceptance(t, 8, 32, 0.9) > acceptance(t, 8, 8, 0.9)) {
 		t.Error("wider switch should accept more")
 	}
 }
@@ -58,11 +82,11 @@ func TestSimulateMatchesAnalytic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := Throughput(c.n, c.m, c.p)
+		want := throughput(t, c.n, c.m, c.p)
 		if math.Abs(res.PerOutput.Mean-want) > 2*res.PerOutput.HalfWidth+1e-4 {
 			t.Errorf("%dx%d p=%v: simulated %v, analytic %v", c.n, c.m, c.p, res.PerOutput, want)
 		}
-		wantAcc := AcceptanceProbability(c.n, c.m, c.p)
+		wantAcc := acceptance(t, c.n, c.m, c.p)
 		if math.Abs(res.Acceptance.Mean-wantAcc) > 2*res.Acceptance.HalfWidth+1e-3 {
 			t.Errorf("%dx%d p=%v: acceptance %v, analytic %v", c.n, c.m, c.p, res.Acceptance, wantAcc)
 		}
@@ -81,11 +105,14 @@ func TestSimulateValidation(t *testing.T) {
 	}
 }
 
-func TestThroughputPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("invalid size did not panic")
-		}
-	}()
-	Throughput(0, 4, 0.5)
+func TestThroughputValidation(t *testing.T) {
+	if _, err := Throughput(0, 4, 0.5); err == nil {
+		t.Error("invalid size accepted")
+	}
+	if _, err := Throughput(4, 4, -0.1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := AcceptanceProbability(0, 4, 0.5); err == nil {
+		t.Error("AcceptanceProbability accepted invalid size")
+	}
 }

@@ -59,6 +59,7 @@ type TimeWeighted struct {
 func (tw *TimeWeighted) Observe(t, v float64) {
 	if tw.started {
 		if t < tw.lastT {
+			//lint:allow libpanic simulator clock monotonicity invariant; a violation means the event queue itself is broken
 			panic(fmt.Sprintf("stats: time went backwards: %v < %v", t, tw.lastT))
 		}
 		dt := t - tw.lastT
@@ -76,7 +77,7 @@ func (tw *TimeWeighted) CloseAt(t float64) { tw.Observe(t, tw.lastV) }
 
 // Mean returns the time average over the observed horizon.
 func (tw *TimeWeighted) Mean() float64 {
-	if tw.duration == 0 {
+	if tw.duration == 0 { //lint:allow floatcmp guards exact division by zero; a tiny horizon is a well-conditioned area/duration ratio
 		return 0
 	}
 	return tw.area / tw.duration

@@ -55,12 +55,12 @@ func (m Matrix) Validate() error {
 			rowSum += w
 			colSum[j] += w
 		}
-		if rowSum == 0 {
+		if rowSum == 0 { //lint:allow floatcmp structural validation: exactly zero weight means the row is absent; tiny weights are legitimate load
 			return fmt.Errorf("traffic: row %d has no traffic", i)
 		}
 	}
 	for j, s := range colSum {
-		if s == 0 {
+		if s == 0 { //lint:allow floatcmp structural validation, as for the row sums above
 			return fmt.Errorf("traffic: column %d has no traffic", j)
 		}
 	}
@@ -154,7 +154,7 @@ func (m Matrix) Sinkhorn(tol float64, maxIter int) (Matrix, error) {
 		worst := 0.0
 		col := out.ColSums()
 		for j := range col {
-			if col[j] == 0 {
+			if col[j] == 0 { //lint:allow floatcmp scaling preserves exact zeros; losing all weight is structural
 				return nil, fmt.Errorf("traffic: column %d lost all weight", j)
 			}
 			for i := range out {

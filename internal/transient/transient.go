@@ -32,7 +32,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Tol == 0 {
+	if o.Tol == 0 { //lint:allow floatcmp zero value of Options.Tol selects the default (Go zero-value idiom)
 		o.Tol = 1e-10
 	}
 	if o.MaxSteps == 0 {
@@ -111,7 +111,7 @@ func Distributions(chain *statespace.Chain, pi0 []float64, times []float64, opts
 	}
 	// A chain with no transitions (single absorbing state) is already
 	// stationary.
-	if lambda == 0 {
+	if lambda == 0 { //lint:allow floatcmp the uniformization rate is exactly zero only for a chain with no transitions at all
 		out := make([][]float64, len(times))
 		for i := range out {
 			out[i] = append([]float64(nil), pi0...)
@@ -175,7 +175,7 @@ func uniformizeAt(p [][]float64, pi0 []float64, a float64, opts Options) ([]floa
 		}
 		for i := 0; i < n; i++ {
 			ci := cur[i]
-			if ci == 0 {
+			if ci == 0 { //lint:allow floatcmp skips exactly-zero probability mass; tiny mass must still propagate
 				continue
 			}
 			row := p[i]

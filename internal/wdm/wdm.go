@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"xbar/internal/eventq"
+	"xbar/internal/floats"
 	"xbar/internal/link"
 	"xbar/internal/rng"
 	"xbar/internal/stats"
@@ -399,7 +400,7 @@ func ConversionGain(p Path) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if c == 0 {
+	if floats.Zero(c) {
 		return math.Inf(1), nil
 	}
 	return nc / c, nil
