@@ -1,11 +1,31 @@
 # Convenience targets for the reproduction. Everything is stdlib-only
-# Go; no external dependencies.
+# Go; no external dependencies. Run `make help` for a summary.
 
 GO ?= go
+# Sequence number of the BENCH_<n>.json trajectory point `make bench`
+# writes (docs/PERFORMANCE.md); bump per PR.
+BENCH_N ?= 2
 
-.PHONY: all build vet lint test test-race test-short cover bench experiments examples clean
+.PHONY: all help build vet lint test test-race test-short cover bench bench-short experiments experiments-quick examples clean
 
 all: build vet lint test
+
+help:
+	@echo "Targets:"
+	@echo "  all          build + vet + lint + test"
+	@echo "  build        go build ./..."
+	@echo "  vet          go vet ./..."
+	@echo "  lint         project static analysis (cmd/xbarlint, docs/STATIC_ANALYSIS.md)"
+	@echo "  test         go test ./..."
+	@echo "  test-short   go test -short ./..."
+	@echo "  test-race    go test -race ./..."
+	@echo "  cover        coverage summary"
+	@echo "  bench        run benchmarks and write BENCH_$(BENCH_N).json (ns/op, B/op, allocs/op;"
+	@echo "               set BENCH_N=<n> for the trajectory point, see docs/PERFORMANCE.md)"
+	@echo "  bench-short  one-iteration benchmark smoke run, JSON to bench_short.json"
+	@echo "  experiments  regenerate every paper table/figure into results/"
+	@echo "  examples     run the example programs"
+	@echo "  clean        remove generated files"
 
 build:
 	$(GO) build ./...
@@ -29,8 +49,20 @@ test-race:
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
+# Full benchmark run rendered to the machine-readable trajectory file
+# BENCH_<n>.json (cmd/benchjson). Text output is kept in
+# bench_output.txt for eyeballing.
 bench:
-	$(GO) test -bench . -benchmem ./...
+	$(GO) test -bench . -benchmem ./... | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -o BENCH_$(BENCH_N).json
+	@echo "wrote BENCH_$(BENCH_N).json"
+
+# Smoke run: every benchmark executes exactly once (CI's bench-short
+# job); the JSON artifact proves the harness still parses.
+bench-short:
+	$(GO) test -bench . -benchtime 1x -benchmem -short ./... | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -in bench_output.txt -o bench_short.json
+	@echo "wrote bench_short.json"
 
 # Regenerates every paper table and figure plus the validation,
 # ablation and extension studies into results/.
@@ -49,4 +81,4 @@ examples:
 	$(GO) run ./examples/sizing
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_short.json

@@ -26,8 +26,11 @@ import (
 
 // Each benchmark regenerates one published table or figure (or one of
 // the reproduction's own ablations); `go test -bench .` is therefore
-// the full evaluation harness. The sink variables keep the compiler
-// from eliding the work.
+// the full evaluation harness, and `make bench` renders its output to
+// BENCH_<n>.json (see docs/PERFORMANCE.md). Every benchmark reports
+// allocations and resets the timer after fixture setup so the JSON
+// trajectory measures the loop, not the fixtures. The sink variables
+// keep the compiler from eliding the work.
 
 var (
 	sinkSeries []workload.Series
@@ -38,6 +41,7 @@ var (
 )
 
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := workload.Figure1(workload.FigureNs())
 		if err != nil {
@@ -48,6 +52,7 @@ func BenchmarkFigure1(b *testing.B) {
 }
 
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := workload.Figure2(workload.FigureNs())
 		if err != nil {
@@ -58,6 +63,7 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := workload.Figure3(workload.FigureNs())
 		if err != nil {
@@ -68,6 +74,7 @@ func BenchmarkFigure3(b *testing.B) {
 }
 
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := workload.Figure4(workload.Figure4Ns())
 		if err != nil {
@@ -78,6 +85,7 @@ func BenchmarkFigure4(b *testing.B) {
 }
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sinkT1 = workload.Table1(workload.Figure4Ns())
 	}
@@ -85,10 +93,12 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	// One parameter set per sub-benchmark; each row includes the
-	// central-difference bursty gradient (two extra full solves).
+	// central-difference bursty gradient (two extra full solves through
+	// the recycled scratch solver).
 	for _, set := range workload.Table2Sets() {
 		set := set
 		b.Run(fmt.Sprintf("set%d", set.Set), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rows, err := workload.Table2(set, workload.Table2Ns())
 				if err != nil {
@@ -100,12 +110,49 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep is the amortization ablation: one max-size lattice
+// fill serving every sub-size through core.SweepSolver, against a
+// fresh per-size solve of the same fixed per-route model (the
+// re-solve pattern the sweep layer replaced).
+func BenchmarkSweep(b *testing.B) {
+	classes := []core.Class{
+		{Name: "p", A: 1, Alpha: 0.001, Mu: 1},
+		{Name: "b", A: 1, Alpha: 0.001, Beta: 0.0005, Mu: 1},
+	}
+	const maxN = 64
+	b.Run("amortized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sweep, err := core.NewSweepSolver(core.Switch{N1: maxN, N2: maxN, Classes: classes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for n := 1; n <= maxN; n++ {
+				sinkF = sweep.ResultAt(n, n).Blocking[0]
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for n := 1; n <= maxN; n++ {
+				res, err := core.Solve(core.Switch{N1: n, N2: n, Classes: classes})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkF = res.Blocking[0]
+			}
+		}
+	})
+}
+
 // BenchmarkSimValidation is the "compare with simulation" experiment
 // at one Figure 1 operating point, sized for benchmarking rather than
 // tight confidence intervals.
 func BenchmarkSimValidation(b *testing.B) {
 	sw := core.NewSwitch(16, 16,
 		core.AggregateClass{Name: "p", A: 1, AlphaTilde: 0.0024, Mu: 1})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Run(sim.Config{
@@ -128,6 +175,7 @@ func BenchmarkAlg1VsAlg2(b *testing.B) {
 			core.AggregateClass{Name: "b", A: 1, AlphaTilde: 0.0012, BetaTilde: 0.0012, Mu: 1},
 		)
 		b.Run(fmt.Sprintf("alg1/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.Solve(sw)
 				if err != nil {
@@ -137,6 +185,7 @@ func BenchmarkAlg1VsAlg2(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("alg2/N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.SolveMVA(sw)
 				if err != nil {
@@ -153,6 +202,7 @@ func BenchmarkAlg1VsAlg2(b *testing.B) {
 		core.AggregateClass{Name: "b", A: 1, AlphaTilde: 0.0012, BetaTilde: 0.0012, Mu: 1},
 	)
 	b.Run("direct/N=12", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.SolveDirect(small)
 			if err != nil {
@@ -162,6 +212,7 @@ func BenchmarkAlg1VsAlg2(b *testing.B) {
 		}
 	})
 	b.Run("convolution/N=12", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.SolveConvolution(small)
 			if err != nil {
@@ -177,6 +228,8 @@ func BenchmarkAlg1VsAlg2(b *testing.B) {
 func BenchmarkBaselines(b *testing.B) {
 	b.Run("link", func(b *testing.B) {
 		l := link.Link{C: 32, Classes: []link.Class{{A: 1, Alpha: 9.6, Mu: 1}}}
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := link.Solve(l)
 			if err != nil {
@@ -188,6 +241,8 @@ func BenchmarkBaselines(b *testing.B) {
 	b.Run("crossbar", func(b *testing.B) {
 		l := link.Link{C: 32, Classes: []link.Class{{A: 1, Alpha: 9.6, Mu: 1}}}
 		sw := l.CrossbarEquivalent()
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := core.Solve(sw)
 			if err != nil {
@@ -197,6 +252,7 @@ func BenchmarkBaselines(b *testing.B) {
 		}
 	})
 	b.Run("slotted", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := slotted.Simulate(16, 16, 0.9, 2000, uint64(i+1))
 			if err != nil {
@@ -206,6 +262,7 @@ func BenchmarkBaselines(b *testing.B) {
 		}
 	})
 	b.Run("minnet", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := minnet.Simulate(16, 1.0, 2000, uint64(i+1))
 			if err != nil {
@@ -228,6 +285,8 @@ func BenchmarkNetwork(b *testing.B) {
 		},
 	}
 	b.Run("fixedpoint", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fp, err := network.FixedPoint(net, 1e-10, 500)
 			if err != nil {
@@ -237,6 +296,8 @@ func BenchmarkNetwork(b *testing.B) {
 		}
 	})
 	b.Run("simulate", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res, err := network.Simulate(net, network.SimConfig{
 				Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
@@ -257,6 +318,8 @@ func BenchmarkAdmission(b *testing.B) {
 		{Name: "lead", A: 1, Alpha: 0.08, Mu: 1},
 	}}
 	weights := []float64{1.0, 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		best, _, err := admission.OptimizeReservation(sw, weights, 1, 100000)
 		if err != nil {
@@ -267,12 +330,15 @@ func BenchmarkAdmission(b *testing.B) {
 }
 
 // BenchmarkIPP is the bursty-approximation experiment: one on/off
-// fabric simulation plus the BPP-fit analytic solve.
+// fabric simulation plus the BPP-fit analytic solve. ipp.Design is
+// fixture setup and stays outside the timed region.
 func BenchmarkIPP(b *testing.B) {
 	src, err := ipp.Design(1.5, 1.6, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ipp.SimulateCrossbar(6, 6, src, 1, ipp.SimConfig{
 			Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
@@ -291,6 +357,8 @@ func BenchmarkIPP(b *testing.B) {
 // BenchmarkClos simulates the strict-sense nonblocking configuration.
 func BenchmarkClos(b *testing.B) {
 	net := clos.Network{M: 15, N: 8, R: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := clos.Simulate(net, clos.SimConfig{
 			PerInputLoad: 0.6, Mu: 1, Policy: clos.RandomAvailable,
@@ -316,6 +384,7 @@ func BenchmarkTransient(b *testing.B) {
 		b.Fatal(err)
 	}
 	times := []float64{0.5, 1, 2, 4, 8}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		traj, err := transient.BlockingTrajectory(chain, pi0, 0, times, transient.Options{})
@@ -330,6 +399,7 @@ func BenchmarkTransient(b *testing.B) {
 func BenchmarkHotspot(b *testing.B) {
 	m := hotspot.Model{N1: 8, N2: 8, Lambda: 4, Mu: 1, HotFraction: 0.4}
 	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := hotspot.Solve(m)
 			if err != nil {
@@ -339,6 +409,7 @@ func BenchmarkHotspot(b *testing.B) {
 		}
 	})
 	b.Run("simulate", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := hotspot.Simulate(m, hotspot.SimConfig{
 				Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
@@ -354,6 +425,8 @@ func BenchmarkHotspot(b *testing.B) {
 // BenchmarkWDM measures the wavelength-continuity path simulation.
 func BenchmarkWDM(b *testing.B) {
 	p := wdm.Path{L: 4, W: 8, Rate: 2, CrossRate: 2.5, Mu: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := wdm.Simulate(p, wdm.SimConfig{
 			Seed: uint64(i + 1), Warmup: 200, Horizon: 5000,
@@ -367,6 +440,7 @@ func BenchmarkWDM(b *testing.B) {
 
 // BenchmarkRetrial simulates the retry-feedback model.
 func BenchmarkRetrial(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := retrial.Run(retrial.Config{
 			N1: 6, N2: 6, Lambda: 4, Mu: 1,
@@ -387,6 +461,8 @@ func BenchmarkTraffic(b *testing.B) {
 	for j := 0; j < 8; j++ {
 		skewed[0][j] += 4
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		balanced, err := skewed.Sinkhorn(1e-10, 100000)
 		if err != nil {
@@ -404,6 +480,7 @@ func BenchmarkTraffic(b *testing.B) {
 
 // BenchmarkOverflow runs the two-stage overflow system.
 func BenchmarkOverflow(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := overflow.Run(overflow.Config{
 			PrimaryN: 3, SecondaryN: 6, Lambda: 1.5, Mu: 1,
@@ -418,6 +495,7 @@ func BenchmarkOverflow(b *testing.B) {
 
 // BenchmarkInputQueued measures the slotted HOL-contention simulator.
 func BenchmarkInputQueued(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ci, err := inputq.SaturationThroughput(16, 5000, inputq.InputQueued, uint64(i+1))
 		if err != nil {

@@ -1,0 +1,181 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable BENCH_<n>.json trajectory format: one object per
+// benchmark with ns/op, B/op and allocs/op. It reads the benchmark
+// text from stdin (or -in), writes JSON to stdout (or -o), and can
+// embed a previously written JSON file as the "baseline" section so a
+// single artifact records before and after:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH_2.json -baseline BENCH_1.json
+//
+// Lines that are not benchmark results (package headers, PASS/ok) are
+// ignored. Repeated runs of one benchmark (-count > 1) are averaged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measured cost per operation.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the BENCH_<n>.json schema.
+type File struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
+	// its metrics for this run.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// Baseline optionally carries the previous trajectory point the
+	// run is compared against (the -baseline file's Benchmarks).
+	Baseline map[string]Metrics `json:"baseline,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark text input (default stdin)")
+	out := flag.String("o", "", "JSON output path (default stdout)")
+	baseline := flag.String("baseline", "", "earlier BENCH_*.json to embed as the baseline section")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	bench, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(bench) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+	file := File{Benchmarks: bench}
+	if *baseline != "" {
+		prev, err := readBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		file.Baseline = prev
+	}
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse extracts benchmark result lines. The format is
+//
+//	BenchmarkName-8   100   123456 ns/op   789 B/op   12 allocs/op
+//
+// with the "-8" GOMAXPROCS suffix stripped from the name and any
+// further value/unit pairs (e.g. MB/s) ignored.
+func parse(r io.Reader) (map[string]Metrics, error) {
+	type acc struct {
+		m Metrics
+		n int
+	}
+	sums := make(map[string]*acc)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var m Metrics
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				seen = true
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		a := sums[name]
+		if a == nil {
+			a = &acc{}
+			sums[name] = a
+		}
+		a.m.NsPerOp += m.NsPerOp
+		a.m.BytesPerOp += m.BytesPerOp
+		a.m.AllocsPerOp += m.AllocsPerOp
+		a.n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Metrics, len(sums))
+	for name, a := range sums {
+		out[name] = Metrics{
+			NsPerOp:     a.m.NsPerOp / float64(a.n),
+			BytesPerOp:  a.m.BytesPerOp / float64(a.n),
+			AllocsPerOp: a.m.AllocsPerOp / float64(a.n),
+		}
+	}
+	return out, nil
+}
+
+// readBaseline loads an earlier BENCH_*.json (or a bare benchmark map)
+// for embedding.
+func readBaseline(path string) (map[string]Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if f.Benchmarks != nil {
+		return f.Benchmarks, nil
+	}
+	var bare map[string]Metrics
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return bare, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

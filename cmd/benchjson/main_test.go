@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: xbar
+BenchmarkFigure4-8         	       2	    573013 ns/op	  207616 B/op	     135 allocs/op
+BenchmarkTable2/set1-8     	       1	  31699002 ns/op	 8856368 B/op	    1052 allocs/op
+BenchmarkNoMem-8           	     100	      1234 ns/op
+PASS
+ok  	xbar	2.1s
+`
+	got, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	f4 := got["BenchmarkFigure4"]
+	if f4.NsPerOp != 573013 || f4.BytesPerOp != 207616 || f4.AllocsPerOp != 135 {
+		t.Errorf("Figure4 = %+v", f4)
+	}
+	sub := got["BenchmarkTable2/set1"]
+	if sub.NsPerOp != 31699002 {
+		t.Errorf("Table2/set1 = %+v", sub)
+	}
+	nomem := got["BenchmarkNoMem"]
+	if nomem.NsPerOp != 1234 || nomem.BytesPerOp != 0 {
+		t.Errorf("NoMem = %+v", nomem)
+	}
+}
+
+func TestParseAveragesRepeats(t *testing.T) {
+	input := `BenchmarkX-1   10   100 ns/op   8 B/op   1 allocs/op
+BenchmarkX-1   10   300 ns/op   16 B/op   3 allocs/op
+`
+	got, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := got["BenchmarkX"]
+	if x.NsPerOp != 200 || x.BytesPerOp != 12 || x.AllocsPerOp != 2 {
+		t.Errorf("averaged = %+v", x)
+	}
+}
+
+func TestParseIgnoresNonBench(t *testing.T) {
+	got, err := parse(strings.NewReader("=== RUN TestFoo\n--- PASS: TestFoo\nBenchmark text without numbers\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %v from non-benchmark input", got)
+	}
+}

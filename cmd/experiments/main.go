@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"xbar/internal/experiments"
+	"xbar/internal/workload"
 )
 
 func main() {
@@ -25,7 +26,10 @@ func main() {
 		"experiment to run: "+strings.Join(experiments.Order(), " ")+" or all")
 	out := flag.String("out", "results", "directory for CSV output")
 	quick := flag.Bool("quick", false, "shorter simulation horizons")
+	workers := flag.Int("workers", 0,
+		"worker-pool size for sweeps and replications (0 = GOMAXPROCS)")
 	flag.Parse()
+	workload.Workers = *workers
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

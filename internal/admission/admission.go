@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"xbar/internal/core"
+	"xbar/internal/parallel"
 	"xbar/internal/statespace"
 )
 
@@ -91,20 +92,27 @@ func OptimizeReservation(sw core.Switch, weights []float64, class, maxStates int
 	if class < 0 || class >= len(sw.Classes) {
 		return nil, nil, fmt.Errorf("admission: class %d of %d", class, len(sw.Classes))
 	}
-	limits := make([]int, len(sw.Classes))
-	for r := range limits {
-		limits[r] = sw.MinN()
+	ts := make([]int, sw.MinN()+1)
+	for t := range ts {
+		ts[t] = t
 	}
-	var best *Evaluation
-	var sweep []*Evaluation
-	for t := 0; t <= sw.MinN(); t++ {
-		limits[class] = t
-		ev, err := Evaluate(sw, weights, limits, maxStates)
-		if err != nil {
-			return nil, nil, err
+	// Each limit is an independent CTMC solve; run them on the bounded
+	// pool. Results come back in limit order, so the argmax below is
+	// deterministic (ties break toward the smaller limit).
+	sweep, err := parallel.Map(0, ts, func(_, t int) (*Evaluation, error) {
+		limits := make([]int, len(sw.Classes))
+		for r := range limits {
+			limits[r] = sw.MinN()
 		}
-		sweep = append(sweep, ev)
-		if best == nil || ev.Revenue > best.Revenue {
+		limits[class] = t
+		return Evaluate(sw, weights, limits, maxStates)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	best := sweep[0]
+	for _, ev := range sweep[1:] {
+		if ev.Revenue > best.Revenue {
 			best = ev
 		}
 	}

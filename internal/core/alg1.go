@@ -28,19 +28,97 @@ type Solver struct {
 	sw Switch
 	// q holds Q on the (N1+1) x (N2+1) lattice, row-major by n1.
 	q []scale.Number
+	// poisson and bursty hold the per-class recursion constants,
+	// hoisted out of the fill loops (one Frexp per class per solve
+	// instead of several per cell).
+	poisson []poissonTerm
+	bursty  []burstyTerm
+	// vScratch recycles the bursty V lattices across Reuse calls.
+	vScratch [][]scale.Number
+}
+
+// poissonTerm is one R1 class's hoisted fill constants.
+type poissonTerm struct {
+	a    int
+	off  int          // lattice offset of the (a, a) displacement
+	coef scale.Number // a_r * rho_r
+}
+
+// burstyTerm is one R2 class's hoisted fill constants plus its retained
+// V lattice (Eq. 9).
+type burstyTerm struct {
+	a      int
+	off    int          // lattice offset of the (a, a) displacement
+	coef   scale.Number // a_r * rho_r
+	betaMu scale.Number // beta_r / mu_r
+	v      []scale.Number
 }
 
 // NewSolver validates the switch and fills the Q lattice.
 func NewSolver(sw Switch) (*Solver, error) {
-	if err := sw.Validate(); err != nil {
+	s := &Solver{}
+	if err := s.Reuse(sw); err != nil {
 		return nil, err
 	}
-	s := &Solver{
-		sw: sw,
-		q:  make([]scale.Number, (sw.N1+1)*(sw.N2+1)),
-	}
-	s.fill()
 	return s, nil
+}
+
+// Reuse re-points the solver at sw and refills the lattice, recycling
+// the Q and V buffers whenever their capacity allows. This is the
+// allocation-free path for repeated solves of same-size systems — the
+// reduced-load fixed point (internal/network) and the perturbed
+// re-solves of the revenue gradients run through it.
+func (s *Solver) Reuse(sw Switch) error {
+	if err := sw.Validate(); err != nil {
+		return err
+	}
+	s.sw = sw
+	size := (sw.N1 + 1) * (sw.N2 + 1)
+	if cap(s.q) >= size {
+		s.q = s.q[:size]
+	} else {
+		s.q = make([]scale.Number, size)
+	}
+	s.prepare(size)
+	s.fill()
+	return nil
+}
+
+// prepare rebuilds the hoisted per-class terms, recycling previously
+// allocated V lattices.
+func (s *Solver) prepare(size int) {
+	s.poisson = s.poisson[:0]
+	s.bursty = s.bursty[:0]
+	n2w := s.sw.N2 + 1
+	vUsed := 0
+	for _, c := range s.sw.Classes {
+		if c.IsPoisson() {
+			s.poisson = append(s.poisson, poissonTerm{
+				a:    c.A,
+				off:  c.A*n2w + c.A,
+				coef: scale.FromFloat64(float64(c.A) * c.Rho()),
+			})
+			continue
+		}
+		if vUsed == len(s.vScratch) {
+			s.vScratch = append(s.vScratch, nil)
+		}
+		v := s.vScratch[vUsed]
+		if cap(v) >= size {
+			v = v[:size]
+		} else {
+			v = make([]scale.Number, size)
+		}
+		s.vScratch[vUsed] = v
+		vUsed++
+		s.bursty = append(s.bursty, burstyTerm{
+			a:      c.A,
+			off:    c.A*n2w + c.A,
+			coef:   scale.FromFloat64(float64(c.A) * c.Rho()),
+			betaMu: scale.FromFloat64(c.BetaMu()),
+			v:      v,
+		})
+	}
 }
 
 // Solve computes the performance measures for sw with Algorithm 1.
@@ -60,84 +138,55 @@ func (s *Solver) at(n1, n2 int) scale.Number {
 	return s.q[n1*(s.sw.N2+1)+n2]
 }
 
-func (s *Solver) set(n1, n2 int, v scale.Number) {
-	s.q[n1*(s.sw.N2+1)+n2] = v
-}
-
 // fill runs the recursion over the lattice in row-major order. The V
 // auxiliary functions (Eq. 9) follow a pure diagonal recursion, so one
-// grid per bursty class is filled alongside Q.
+// grid per bursty class is filled alongside Q. The loop body works on
+// flat indices with hoisted per-class constants and a deferred-
+// normalization accumulator (scale.Acc): each cell costs one
+// renormalization instead of several per class, which is where
+// Algorithm 1 spends its time at N = 256.
 func (s *Solver) fill() {
-	sw := s.sw
-	// vGrids[j] holds V(., r) for the j-th bursty class.
-	type burstyClass struct {
-		r      int
-		a      int
-		rho    float64
-		betaMu float64
-		v      []scale.Number
-	}
-	var bursty []burstyClass
-	type poissonClass struct {
-		a   int
-		rho float64
-	}
-	var poisson []poissonClass
-	for r, c := range sw.Classes {
-		if c.IsPoisson() {
-			poisson = append(poisson, poissonClass{a: c.A, rho: c.Rho()})
-		} else {
-			bursty = append(bursty, burstyClass{
-				r: r, a: c.A, rho: c.Rho(), betaMu: c.BetaMu(),
-				v: make([]scale.Number, (sw.N1+1)*(sw.N2+1)),
-			})
-		}
-	}
-	vAt := func(b *burstyClass, n1, n2 int) scale.Number {
-		if n1 < 0 || n2 < 0 {
-			return scale.Zero
-		}
-		return b.v[n1*(sw.N2+1)+n2]
-	}
-
-	for n1 := 0; n1 <= sw.N1; n1++ {
-		for n2 := 0; n2 <= sw.N2; n2++ {
-			// V(m, r) = Q(m - a I) + (beta/mu) V(m - a I, r).
-			for j := range bursty {
-				b := &bursty[j]
-				v := s.at(n1-b.a, n2-b.a).Add(
-					vAt(b, n1-b.a, n2-b.a).MulFloat(b.betaMu))
-				b.v[n1*(sw.N2+1)+n2] = v
+	n2w := s.sw.N2 + 1
+	for n1 := 0; n1 <= s.sw.N1; n1++ {
+		base := n1 * n2w
+		for n2 := 0; n2 <= s.sw.N2; n2++ {
+			i := base + n2
+			// V(m, r) = Q(m - a I) + (beta/mu) V(m - a I, r), with
+			// Q = V = 0 off the non-negative lattice.
+			for j := range s.bursty {
+				b := &s.bursty[j]
+				if n1 >= b.a && n2 >= b.a {
+					p := i - b.off
+					b.v[i] = s.q[p].AddMul(b.v[p], b.betaMu)
+				} else {
+					b.v[i] = scale.Zero
+				}
 			}
-			if n1 == 0 && n2 == 0 {
-				s.set(0, 0, scale.One)
+			if i == 0 {
+				s.q[0] = scale.One
 				continue
 			}
 			// Step in direction i = 1 when possible, else i = 2.
-			var prev scale.Number
+			var acc scale.Acc
 			var div float64
 			if n1 > 0 {
-				prev = s.at(n1-1, n2)
+				acc.Init(s.q[i-n2w])
 				div = float64(n1)
 			} else {
-				prev = s.at(0, n2-1)
+				acc.Init(s.q[i-1])
 				div = float64(n2)
 			}
-			sum := prev
-			for _, p := range poisson {
-				t := s.at(n1-p.a, n2-p.a)
-				if !t.IsZero() {
-					sum = sum.Add(t.MulFloat(float64(p.a) * p.rho))
+			for j := range s.poisson {
+				p := &s.poisson[j]
+				if n1 >= p.a && n2 >= p.a {
+					acc.AddMul(s.q[i-p.off], p.coef)
 				}
 			}
-			for j := range bursty {
-				b := &bursty[j]
-				t := vAt(b, n1, n2)
-				if !t.IsZero() {
-					sum = sum.Add(t.MulFloat(float64(b.a) * b.rho))
-				}
+			for j := range s.bursty {
+				b := &s.bursty[j]
+				acc.AddMul(b.v[i], b.coef)
 			}
-			s.set(n1, n2, sum.DivFloat(div))
+			s.q[i] = acc.DivFloat(div)
 		}
 	}
 }

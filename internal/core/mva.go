@@ -38,25 +38,71 @@ type MVASolver struct {
 	// d[j] is the D grid for the j-th bursty class.
 	d       [][]float64
 	burstyR []int // class index of each bursty class
+	// burstyOf maps every class index to its bursty slot, or -1 for
+	// Poisson classes. Precomputed in NewMVASolver so solveF's
+	// denominator loop stays O(R) per cell instead of the O(R^2) a
+	// per-class burstyR scan would make it.
+	burstyOf []int
+	// terms holds the per-class constants hoisted out of the fill.
+	terms []mvaTerm
+}
+
+// mvaTerm is one class's hoisted fill constants.
+type mvaTerm struct {
+	a       int
+	aRho    float64 // a_r * rho_r
+	betaMu  float64
+	poisson bool
 }
 
 // NewMVASolver validates the switch and fills the ratio lattices.
 func NewMVASolver(sw Switch) (*MVASolver, error) {
-	if err := sw.Validate(); err != nil {
+	s := &MVASolver{}
+	if err := s.Reuse(sw); err != nil {
 		return nil, err
 	}
-	s := &MVASolver{sw: sw}
-	size := (sw.N1 + 1) * (sw.N2 + 1)
-	s.f1 = make([]float64, size)
-	s.f2 = make([]float64, size)
-	for r, c := range sw.Classes {
-		if !c.IsPoisson() {
-			s.burstyR = append(s.burstyR, r)
-			s.d = append(s.d, make([]float64, size))
-		}
-	}
-	s.fill()
 	return s, nil
+}
+
+// Reuse re-points the solver at sw and refills the ratio lattices,
+// recycling the F and D buffers whenever their capacity allows — the
+// allocation-free path for repeated solves of same-size systems.
+func (s *MVASolver) Reuse(sw Switch) error {
+	if err := sw.Validate(); err != nil {
+		return err
+	}
+	s.sw = sw
+	size := (sw.N1 + 1) * (sw.N2 + 1)
+	grow := func(buf []float64) []float64 {
+		if cap(buf) >= size {
+			return buf[:size]
+		}
+		return make([]float64, size)
+	}
+	s.f1, s.f2 = grow(s.f1), grow(s.f2)
+	s.burstyR = s.burstyR[:0]
+	s.burstyOf = s.burstyOf[:0]
+	s.terms = s.terms[:0]
+	dUsed := 0
+	for r, c := range sw.Classes {
+		s.terms = append(s.terms, mvaTerm{
+			a: c.A, aRho: float64(c.A) * c.Rho(), betaMu: c.BetaMu(), poisson: c.IsPoisson(),
+		})
+		if c.IsPoisson() {
+			s.burstyOf = append(s.burstyOf, -1)
+			continue
+		}
+		s.burstyOf = append(s.burstyOf, len(s.burstyR))
+		s.burstyR = append(s.burstyR, r)
+		if dUsed == len(s.d) {
+			s.d = append(s.d, nil)
+		}
+		s.d[dUsed] = grow(s.d[dUsed])
+		dUsed++
+	}
+	s.d = s.d[:dUsed]
+	s.fill()
+	return nil
 }
 
 // SolveMVA computes the performance measures for sw with Algorithm 2.
@@ -118,9 +164,11 @@ func (s *MVASolver) dAt(j, n1, n2 int) float64 {
 
 func (s *MVASolver) fill() {
 	sw := s.sw
+	n2w := sw.N2 + 1
 	for n1 := 0; n1 <= sw.N1; n1++ {
+		base := n1 * n2w
 		for n2 := 0; n2 <= sw.N2; n2++ {
-			i := s.idx(n1, n2)
+			i := base + n2
 			// F boundary and interior values.
 			switch {
 			case n1 == 0 && n2 == 0:
@@ -135,11 +183,11 @@ func (s *MVASolver) fill() {
 			}
 			// D grids, after F at this cell is final.
 			for j, r := range s.burstyR {
-				c := sw.Classes[r]
+				t := &s.terms[r]
 				d := 1.0
-				if n1-c.A >= 0 && n2-c.A >= 0 {
-					h := s.ratio(n1, n2, c.A)
-					d = 1 + c.BetaMu()*h*s.dAt(j, n1-c.A, n2-c.A)
+				if n1 >= t.a && n2 >= t.a {
+					h := s.ratio(n1, n2, t.a)
+					d = 1 + t.betaMu*h*s.dAt(j, n1-t.a, n2-t.a)
 				}
 				s.d[j][i] = d
 			}
@@ -148,48 +196,49 @@ func (s *MVASolver) fill() {
 }
 
 // solveF evaluates the balance equation for F_i at an interior cell.
+// Every lattice point the staircases touch is non-negative (the n-a
+// guard establishes that), so the products index f1/f2 directly
+// instead of going through fAt's bounds checks.
 func (s *MVASolver) solveF(i, n1, n2 int) float64 {
-	sw := s.sw
+	n2w := s.sw.N2 + 1
 	den := 1.0
-	for r, c := range sw.Classes {
-		a := c.A
+	for r := range s.terms {
+		t := &s.terms[r]
+		a := t.a
 		if n1-a < 0 || n2-a < 0 {
 			continue
 		}
 		// L_ir(n - 1_i) = Q(n - aI)/Q(n - 1_i): staircase product from
 		// (n - 1_i) down to (n - aI).
-		var l float64
+		l := 1.0
 		if i == 1 {
 			// From (n1-1, n2): direction 2 a times, then direction 1
 			// a-1 times.
-			l = 1.0
-			p1, p2 := n1-1, n2
-			for t := 0; t < a; t++ {
-				l *= s.fAt(2, p1, p2)
-				p2--
+			p := (n1-1)*n2w + n2
+			for k := 0; k < a; k++ {
+				l *= s.f2[p]
+				p--
 			}
-			for t := 0; t < a-1; t++ {
-				l *= s.fAt(1, p1, p2)
-				p1--
+			for k := 0; k < a-1; k++ {
+				l *= s.f1[p]
+				p -= n2w
 			}
 		} else {
 			// From (n1, n2-1): direction 1 a times, then direction 2
 			// a-1 times.
-			l = 1.0
-			p1, p2 := n1, n2-1
-			for t := 0; t < a; t++ {
-				l *= s.fAt(1, p1, p2)
-				p1--
+			p := n1*n2w + n2 - 1
+			for k := 0; k < a; k++ {
+				l *= s.f1[p]
+				p -= n2w
 			}
-			for t := 0; t < a-1; t++ {
-				l *= s.fAt(2, p1, p2)
-				p2--
+			for k := 0; k < a-1; k++ {
+				l *= s.f2[p]
+				p--
 			}
 		}
-		term := float64(a) * c.Rho() * l
-		if !c.IsPoisson() {
-			j := s.burstyIndex(r)
-			term *= s.dAt(j, n1-a, n2-a)
+		term := t.aRho * l
+		if !t.poisson {
+			term *= s.d[s.burstyOf[r]][(n1-a)*n2w+n2-a]
 		}
 		den += term
 	}
@@ -202,12 +251,13 @@ func (s *MVASolver) solveF(i, n1, n2 int) float64 {
 	return ni / den
 }
 
+// burstyIndex returns the bursty slot of class r via the map built in
+// NewMVASolver (the former linear scan made the fill O(N^2 R^2)).
 func (s *MVASolver) burstyIndex(r int) int {
-	for j, rr := range s.burstyR {
-		if rr == r {
-			return j
-		}
+	if r >= 0 && r < len(s.burstyOf) && s.burstyOf[r] >= 0 {
+		return s.burstyOf[r]
 	}
+	//lint:allow libpanic asking for the bursty slot of a Poisson class is a programming error, same contract as before the map
 	panic(fmt.Sprintf("core: class %d is not bursty", r))
 }
 

@@ -195,3 +195,108 @@ func TestManyClasses(t *testing.T) {
 		}
 	}
 }
+
+// TestBurstyIndexMap pins the precomputed class->bursty-slot map that
+// replaced the linear burstyR scan inside solveF's denominator loop
+// (the scan made fill O(N^2 R^2); the map restores O(N^2 R)).
+func TestBurstyIndexMap(t *testing.T) {
+	sw := Switch{N1: 4, N2: 4, Classes: []Class{
+		{A: 1, Alpha: 0.1, Mu: 1},               // Poisson
+		{A: 1, Alpha: 0.05, Beta: 0.02, Mu: 1},  // bursty slot 0
+		{A: 2, Alpha: 0.01, Mu: 1},              // Poisson
+		{A: 2, Alpha: 0.01, Beta: -0.001, Mu: 1}, // bursty slot 1
+		{A: 1, Alpha: 0.02, Beta: 0.004, Mu: 1}, // bursty slot 2
+	}}
+	s, err := NewMVASolver(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlots := map[int]int{1: 0, 3: 1, 4: 2}
+	for r, want := range wantSlots {
+		if got := s.burstyIndex(r); got != want {
+			t.Errorf("burstyIndex(%d) = %d, want %d", r, got, want)
+		}
+	}
+	// The map must agree with burstyR, its inverse.
+	for j, r := range s.burstyR {
+		if s.burstyOf[r] != j {
+			t.Errorf("burstyOf[%d] = %d, want slot %d", r, s.burstyOf[r], j)
+		}
+	}
+	for _, poisson := range []int{0, 2} {
+		if s.burstyOf[poisson] != -1 {
+			t.Errorf("burstyOf[%d] = %d for a Poisson class, want -1", poisson, s.burstyOf[poisson])
+		}
+	}
+	for _, r := range []int{0, 2, -1, 99} {
+		r := r
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("burstyIndex(%d) did not panic", r)
+				}
+			}()
+			s.burstyIndex(r)
+		}()
+	}
+}
+
+// TestMVASolverReuse checks the buffer-recycling path: re-pointing one
+// solver across sizes and class mixes must reproduce fresh solves.
+func TestMVASolverReuse(t *testing.T) {
+	s := &MVASolver{}
+	cases := []Switch{
+		{N1: 8, N2: 8, Classes: []Class{{A: 1, Alpha: 0.1, Mu: 1}}},
+		{N1: 3, N2: 5, Classes: []Class{
+			{A: 1, Alpha: 0.05, Beta: 0.01, Mu: 1},
+			{A: 2, Alpha: 0.01, Mu: 1},
+		}},
+		{N1: 10, N2: 10, Classes: []Class{
+			{A: 2, Alpha: 0.02, Beta: 0.002, Mu: 1},
+			{A: 1, Alpha: 0.1, Beta: -0.01, Mu: 1},
+		}},
+	}
+	for i, sw := range cases {
+		if err := s.Reuse(sw); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		fresh, err := SolveMVA(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Result()
+		for r := range sw.Classes {
+			if !almostEqual(got.Blocking[r], fresh.Blocking[r], 1e-14) {
+				t.Errorf("case %d Blocking[%d]: reuse %v fresh %v", i, r, got.Blocking[r], fresh.Blocking[r])
+			}
+		}
+	}
+}
+
+// TestSolverReuse is the Algorithm 1 twin of the recycling check.
+func TestSolverReuse(t *testing.T) {
+	s := &Solver{}
+	cases := []Switch{
+		{N1: 12, N2: 12, Classes: []Class{{A: 1, Alpha: 0.1, Beta: 0.02, Mu: 1}}},
+		{N1: 4, N2: 9, Classes: []Class{
+			{A: 1, Alpha: 0.05, Mu: 1},
+			{A: 2, Alpha: 0.01, Beta: 0.001, Mu: 1},
+		}},
+		{N1: 6, N2: 6, Classes: []Class{{A: 1, Alpha: 0.2, Mu: 2}}},
+	}
+	for i, sw := range cases {
+		if err := s.Reuse(sw); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		fresh, err := Solve(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Result()
+		for r := range sw.Classes {
+			if !almostEqual(got.Blocking[r], fresh.Blocking[r], 1e-14) {
+				t.Errorf("case %d Blocking[%d]: reuse %v fresh %v", i, r, got.Blocking[r], fresh.Blocking[r])
+			}
+		}
+	}
+}

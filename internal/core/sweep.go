@@ -1,0 +1,128 @@
+package core
+
+import "fmt"
+
+// The sweep solvers amortize one lattice fill over many reads. Both
+// Algorithm 1 and Algorithm 2 retain their full recursion grids, and
+// the Eq. 10 / Eq. 12-20 recursions are lower-triangular: the value at
+// (n1, n2) depends only on lattice points below it. A sub-lattice of
+// one big fill is therefore bit-identical to a fresh fill of the
+// smaller switch with the same per-route classes, so a single
+// O(N^2 R) solve at the maximum size serves exact results for every
+// sub-size — the "compute once, read many" structure the figures'
+// size sweeps and the revenue differences W(N) - W(N - a_r I) want.
+//
+// The one semantic caveat: ResultAt(n1, n2) is the switch (n1, n2)
+// with the SAME per-route classes as the full switch. The paper's
+// figure axes normalize aggregate (tilde) intensities per size —
+// AggregateClass.PerRoute(n) divides by C(n, a) — so each point of
+// those sweeps is a different per-route model and must be solved
+// fresh; see docs/PERFORMANCE.md. Fixed-per-route sweeps and the
+// in-lattice revenue reads (shadow costs, closed-form gradients,
+// Table 2's GradRho1 column) are exactly what the sweep solvers are
+// for.
+
+// latticeResulter is the read interface the two sweep caches share.
+type latticeResulter interface {
+	ResultAt(n1, n2 int) *Result
+}
+
+// sweepCache memoizes ResultAt reads off a retained lattice. Computing
+// a Result from the lattice is O(R (n/a)) (the concurrency chains) and
+// allocates; the cache makes repeated reads of the same point O(1).
+type sweepCache struct {
+	sw    Switch
+	lat   latticeResulter
+	cache []*Result
+}
+
+func newSweepCache(sw Switch, lat latticeResulter) sweepCache {
+	return sweepCache{
+		sw:    sw,
+		lat:   lat,
+		cache: make([]*Result, (sw.N1+1)*(sw.N2+1)),
+	}
+}
+
+// Switch returns the full-size switch the lattice was solved for.
+func (s *sweepCache) Switch() Switch { return s.sw }
+
+// Result returns the measures at the full switch size.
+func (s *sweepCache) Result() *Result { return s.ResultAt(s.sw.N1, s.sw.N2) }
+
+// ResultAt returns the measures for the sub-switch (n1, n2) with the
+// same per-route classes, computed from the retained lattice on first
+// read and served from the cache afterwards. The returned Result is
+// shared across calls and must not be mutated. Panics outside the
+// solved lattice, same contract as the underlying solvers. Not safe
+// for concurrent use; shard sweeps across solvers instead.
+func (s *sweepCache) ResultAt(n1, n2 int) *Result {
+	if n1 < 1 || n2 < 1 || n1 > s.sw.N1 || n2 > s.sw.N2 {
+		// Delegate so the panic message names the concrete solver.
+		return s.lat.ResultAt(n1, n2)
+	}
+	i := n1*(s.sw.N2+1) + n2
+	if r := s.cache[i]; r != nil {
+		return r
+	}
+	r := s.lat.ResultAt(n1, n2)
+	s.cache[i] = r
+	return r
+}
+
+// WAt returns the average revenue W(n1, n2) = sum_r w_r E_r for the
+// sub-switch, with the paper's convention W = 0 once either dimension
+// reaches zero (E_r(0) = 0).
+func (s *sweepCache) WAt(weights []float64, n1, n2 int) float64 {
+	if n1 < 1 || n2 < 1 {
+		return 0
+	}
+	return s.ResultAt(n1, n2).Revenue(weights)
+}
+
+// ShadowCost returns DeltaW_r(N) = W(N) - W(N - a_r I), the revenue
+// displaced by dedicating a_r inputs and outputs to one class-r
+// connection — a pure lattice read, no re-solve.
+func (s *sweepCache) ShadowCost(weights []float64, r int) float64 {
+	if r < 0 || r >= len(s.sw.Classes) {
+		//lint:allow libpanic class index out of range is a caller bug, same contract as slice indexing
+		panic(fmt.Sprintf("core: ShadowCost class %d of %d", r, len(s.sw.Classes)))
+	}
+	a := s.sw.Classes[r].A
+	return s.WAt(weights, s.sw.N1, s.sw.N2) - s.WAt(weights, s.sw.N1-a, s.sw.N2-a)
+}
+
+// SweepSolver is the Algorithm 1 sweep layer: one Eq. 10 lattice fill
+// at the full size, memoized ResultAt reads for every sub-size.
+type SweepSolver struct {
+	sweepCache
+	solver *Solver
+}
+
+// NewSweepSolver validates sw, fills the Algorithm 1 lattice once, and
+// returns the memoizing read layer.
+func NewSweepSolver(sw Switch) (*SweepSolver, error) {
+	solver, err := NewSolver(sw)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepSolver{sweepCache: newSweepCache(solver.sw, solver), solver: solver}, nil
+}
+
+// MVASweepSolver is the Algorithm 2 twin: one ratio-lattice fill,
+// memoized ResultAt reads. Same semantics as SweepSolver with
+// Algorithm 2's plain-float64 numerics.
+type MVASweepSolver struct {
+	sweepCache
+	solver *MVASolver
+}
+
+// NewMVASweepSolver validates sw, fills the Algorithm 2 ratio lattices
+// once, and returns the memoizing read layer.
+func NewMVASweepSolver(sw Switch) (*MVASweepSolver, error) {
+	solver, err := NewMVASolver(sw)
+	if err != nil {
+		return nil, err
+	}
+	return &MVASweepSolver{sweepCache: newSweepCache(solver.sw, solver), solver: solver}, nil
+}

@@ -21,6 +21,7 @@ package network
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"xbar/internal/combin"
 	"xbar/internal/core"
@@ -147,6 +148,7 @@ func FixedPoint(n Network, tol float64, maxIter int) (*FPResult, error) {
 	hopB := func(s, a int) float64 { return b[s][a] } // zero until solved
 	load := make([]float64, nS)
 	classLoad := make([]map[int]float64, nS)
+	var scratch core.Solver
 	var iter int
 	for iter = 1; iter <= maxIter; iter++ {
 		// Thinned offered loads, split by bandwidth class.
@@ -169,9 +171,11 @@ func FixedPoint(n Network, tol float64, maxIter int) (*FPResult, error) {
 			}
 		}
 		// Per-switch multi-class blocking from the single-switch model.
+		// One scratch solver serves every switch and iteration, so the
+		// whole fixed point allocates its lattices once.
 		worst := 0.0
 		for s, d := range n.Switches {
-			newB, err := switchBlocking(d, classLoad[s])
+			newB, err := switchBlocking(&scratch, d, classLoad[s])
 			if err != nil {
 				return nil, err
 			}
@@ -211,12 +215,23 @@ func FixedPoint(n Network, tol float64, maxIter int) (*FPResult, error) {
 
 // switchBlocking evaluates one crossbar offered Poisson traffic split
 // into bandwidth classes (erlangs per class, spread uniformly over the
-// class's ordered routes), returning per-bandwidth hop blocking.
-func switchBlocking(d Dim, classErlangs map[int]float64) (map[int]float64, error) {
+// class's ordered routes), returning per-bandwidth hop blocking. The
+// bandwidths are visited in sorted order — map iteration order would
+// otherwise vary the classes' positions between runs and perturb the
+// fill's float rounding, breaking run-to-run determinism. The solve
+// goes through the caller's scratch solver (lattices recycled across
+// the whole fixed point).
+func switchBlocking(scratch *core.Solver, d Dim, classErlangs map[int]float64) (map[int]float64, error) {
 	out := make(map[int]float64, len(classErlangs))
 	sw := core.Switch{N1: d.N1, N2: d.N2}
+	bandwidths := make([]int, 0, len(classErlangs))
+	for a := range classErlangs {
+		bandwidths = append(bandwidths, a)
+	}
+	sort.Ints(bandwidths)
 	var order []int
-	for a, erl := range classErlangs {
+	for _, a := range bandwidths {
+		erl := classErlangs[a]
 		if erl <= 0 {
 			out[a] = 0
 			continue
@@ -228,10 +243,10 @@ func switchBlocking(d Dim, classErlangs map[int]float64) (map[int]float64, error
 	if len(sw.Classes) == 0 {
 		return out, nil
 	}
-	res, err := core.Solve(sw)
-	if err != nil {
+	if err := scratch.Reuse(sw); err != nil {
 		return nil, err
 	}
+	res := scratch.Result()
 	for i, a := range order {
 		out[a] = res.Blocking[i]
 	}

@@ -1,0 +1,84 @@
+// Package parallel provides the bounded worker pool the sweep and
+// replication layers fan out on. The previous ad-hoc pattern — one
+// goroutine per sweep point — spawns unbounded goroutines whose peak
+// memory is the whole sweep at once; the pool here caps concurrency at
+// a fixed worker count, keeps results in input order (slot-per-index,
+// so output is deterministic regardless of scheduling), and collects
+// every error instead of dropping all but the first.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), the number of OS threads Go will actually run
+// concurrently. Callers pass 0 unless they have a measured reason not
+// to — see docs/PERFORMANCE.md for sizing guidance.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs f(i, items[i]) for every item using at most
+// Workers(workers) goroutines. Items are claimed through an atomic
+// counter, so scheduling order is arbitrary but each index runs exactly
+// once. ForEach returns after every item has finished; all errors are
+// collected and joined (errors.Join) in input order, not just the
+// first one encountered.
+func ForEach[T any](workers int, items []T, f func(i int, item T) error) error {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	if w <= 1 {
+		for i := range items {
+			errs[i] = f(i, items[i])
+		}
+		return errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Map runs f over items with at most Workers(workers) goroutines and
+// returns the results in input order: out[i] is f(i, items[i]). If any
+// call fails, Map returns nil and the joined errors (every failure, in
+// input order).
+func Map[T, U any](workers int, items []T, f func(i int, item T) (U, error)) ([]U, error) {
+	out := make([]U, len(items))
+	err := ForEach(workers, items, func(i int, item T) error {
+		u, err := f(i, item)
+		out[i] = u
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderIsDeterministic(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 200} {
+		got, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapCollectsEveryError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5}
+	sentinel := []error{
+		errors.New("fail-1"),
+		errors.New("fail-4"),
+	}
+	_, err := Map(3, items, func(i, v int) (int, error) {
+		switch v {
+		case 1:
+			return 0, sentinel[0]
+		case 4:
+			return 0, fmt.Errorf("wrapped: %w", sentinel[1])
+		}
+		return v, nil
+	})
+	if err == nil {
+		t.Fatal("want joined error, got nil")
+	}
+	for _, want := range sentinel {
+		if !errors.Is(err, want) {
+			t.Errorf("joined error %v does not contain %v", err, want)
+		}
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 500
+	counts := make([]atomic.Int32, n)
+	items := make([]struct{}, n)
+	err := ForEach(8, items, func(i int, _ struct{}) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	items := make([]int, 200)
+	err := ForEach(workers, items, func(int, int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched() // widen the overlap window
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	if err := ForEach(4, nil, func(int, int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("empty: %v", err)
+	}
+	ran := 0
+	if err := ForEach(4, []int{42}, func(i, v int) error {
+		ran++
+		if i != 0 || v != 42 {
+			return fmt.Errorf("got (%d, %d)", i, v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d times", ran)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}

@@ -28,10 +28,18 @@ import (
 )
 
 // Analysis evaluates revenue measures for one switch and weight vector.
+// All in-lattice reads (W, shadow costs, the closed-form gradient) run
+// on a core.SweepSolver: one lattice fill, memoized sub-size results.
+// Only the numerical-difference gradients re-solve, and those go
+// through one reusable scratch solver instead of allocating per step.
 type Analysis struct {
 	sw      core.Switch
 	weights []float64
-	solver  *core.Solver
+	sweep   *core.SweepSolver
+	// scratch and scratchClasses serve perturbedW, lazily allocated on
+	// the first gradient call and recycled afterwards.
+	scratch        *core.Solver
+	scratchClasses []core.Class
 }
 
 // New builds an Analysis. weights must contain one revenue rate per
@@ -40,11 +48,11 @@ func New(sw core.Switch, weights []float64) (*Analysis, error) {
 	if len(weights) != len(sw.Classes) {
 		return nil, fmt.Errorf("revenue: %d weights for %d classes", len(weights), len(sw.Classes))
 	}
-	solver, err := core.NewSolver(sw)
+	sweep, err := core.NewSweepSolver(sw)
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{sw: sw, weights: weights, solver: solver}, nil
+	return &Analysis{sw: sw, weights: weights, sweep: sweep}, nil
 }
 
 // Switch returns the analyzed switch.
@@ -56,21 +64,17 @@ func (a *Analysis) W() float64 { return a.WAt(a.sw.N1, a.sw.N2) }
 // WAt returns W for the sub-switch (n1, n2); by convention W = 0 once
 // either dimension reaches zero (E_r(0) = 0 in the paper).
 func (a *Analysis) WAt(n1, n2 int) float64 {
-	if n1 < 1 || n2 < 1 {
-		return 0
-	}
-	return a.solver.ResultAt(n1, n2).Revenue(a.weights)
+	return a.sweep.WAt(a.weights, n1, n2)
 }
 
 // Result exposes the underlying performance measures.
-func (a *Analysis) Result() *core.Result { return a.solver.Result() }
+func (a *Analysis) Result() *core.Result { return a.sweep.Result() }
 
 // ShadowCost returns DeltaW_r(N) = W(N) - W(N - a_r I): the revenue
 // displaced from other traffic by dedicating a_r inputs and outputs to
-// one class-r connection.
+// one class-r connection. A pure lattice read — no re-solve.
 func (a *Analysis) ShadowCost(r int) float64 {
-	ar := a.sw.Classes[r].A
-	return a.W() - a.WAt(a.sw.N1-ar, a.sw.N2-ar)
+	return a.sweep.ShadowCost(a.weights, r)
 }
 
 // Profitable reports whether admitting more class-r load raises total
@@ -89,7 +93,7 @@ func (a *Analysis) GradientRhoClosed(r int) float64 {
 	if ar > a.sw.MinN() {
 		return 0
 	}
-	br := a.solver.Result().NonBlocking[r]
+	br := a.sweep.Result().NonBlocking[r]
 	lead := combin.Perm(a.sw.N1, ar) * combin.Perm(a.sw.N2, ar)
 	return lead * br * (a.weights[r] - a.ShadowCost(r))
 }
@@ -121,21 +125,28 @@ func (a *Analysis) GradientBetaMuForward(r int, h float64) float64 {
 	return (a.perturbedW(r, 0, step*c.Mu) - a.W()) / step
 }
 
-// perturbedW re-solves with class r's alpha and beta shifted.
+// perturbedW re-solves with class r's alpha and beta shifted, through
+// the recycled scratch solver (Reuse keeps the Q/V lattices allocated
+// across the 2-4 solves a gradient takes).
 func (a *Analysis) perturbedW(r int, dAlpha, dBeta float64) float64 {
-	classes := make([]core.Class, len(a.sw.Classes))
-	copy(classes, a.sw.Classes)
-	classes[r].Alpha += dAlpha
-	classes[r].Beta += dBeta
-	sw := core.Switch{N1: a.sw.N1, N2: a.sw.N2, Classes: classes}
-	res, err := core.Solve(sw)
-	if err != nil {
+	if a.scratchClasses == nil {
+		a.scratchClasses = make([]core.Class, len(a.sw.Classes))
+	}
+	copy(a.scratchClasses, a.sw.Classes)
+	a.scratchClasses[r].Alpha += dAlpha
+	a.scratchClasses[r].Beta += dBeta
+	sw := core.Switch{N1: a.sw.N1, N2: a.sw.N2, Classes: a.scratchClasses}
+	if a.scratch == nil {
+		a.scratch = &core.Solver{}
+	}
+	if err := a.scratch.Reuse(sw); err != nil {
 		// A perturbation that leaves the valid parameter region (e.g.
 		// a Bernoulli population constraint) indicates the step was
 		// too large for this model; surface it loudly.
+		//lint:allow libpanic a perturbation step outside the valid parameter region is a caller bug (step too large), not a recoverable state
 		panic(fmt.Sprintf("revenue: perturbed solve failed: %v", err))
 	}
-	return res.Revenue(a.weights)
+	return a.scratch.Result().Revenue(a.weights)
 }
 
 func maxf(a, b float64) float64 {

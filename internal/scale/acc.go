@@ -1,0 +1,115 @@
+package scale
+
+import "math"
+
+// This file holds the fused accumulation primitives the lattice
+// recursions (internal/core alg1) run on. The eager Number methods
+// renormalize after every operation — a MulFloat+Add chain costs three
+// Frexp calls per term — which dominates the per-cell cost of the
+// Eq. 10 fill. Acc defers normalization: terms are accumulated as a raw
+// working fraction against a shared binary exponent and the single
+// Frexp happens when the finished sum is read back. With every term a
+// normalized Number, the working fraction stays within a factor of the
+// term count of [0.5, 1), far inside float64 range, so the deferred
+// path loses no precision relative to the eager one.
+
+// Acc accumulates a sum of scaled values without intermediate
+// normalization. The zero Acc is the empty sum (value 0) and is ready
+// to use. Accumulate with Add/AddMul, then read the total with Norm or
+// DivFloat.
+type Acc struct {
+	frac float64
+	exp  int
+}
+
+// Init resets the accumulator to the value n.
+func (a *Acc) Init(n Number) { a.frac, a.exp = n.frac, n.exp }
+
+// Add accumulates a += n.
+func (a *Acc) Add(n Number) { a.addRaw(n.frac, n.exp) }
+
+// AddMul accumulates a += n*f in one step. f is typically a hoisted
+// per-class constant, so the product costs one multiply and no
+// renormalization.
+func (a *Acc) AddMul(n, f Number) {
+	if n.frac == 0 || f.frac == 0 { //lint:allow floatcmp frac == 0 is the canonical exact representation of Zero
+		return
+	}
+	a.addRaw(n.frac*f.frac, n.exp+f.exp)
+}
+
+// addRaw folds one unnormalized contribution frac*2^exp into the
+// accumulator, aligning to the larger exponent. Contributions more
+// than 1075 binary orders below the running exponent are absorbed,
+// matching Number.Add (the cutoff is measured between working
+// fractions, so it can differ from the eager path by the few binary
+// orders an unnormalized fraction can drift — both far below one ulp
+// of the total).
+func (a *Acc) addRaw(frac float64, exp int) {
+	if frac == 0 { //lint:allow floatcmp exact zero contributes nothing; subnormals still accumulate
+		return
+	}
+	if a.frac == 0 { //lint:allow floatcmp empty accumulator takes the first term verbatim
+		a.frac, a.exp = frac, exp
+		return
+	}
+	shift := a.exp - exp
+	switch {
+	case shift >= 0:
+		if shift > 1075 {
+			return
+		}
+		a.frac += ldexpDown(frac, shift)
+	default:
+		if shift < -1075 {
+			a.frac, a.exp = frac, exp
+			return
+		}
+		a.frac = ldexpDown(a.frac, -shift) + frac
+		a.exp = exp
+	}
+}
+
+// ldexpDown returns f * 2^-k for 0 <= k <= 1075, the alignment step of
+// the accumulator. It multiplies by an exactly representable power of
+// two instead of calling math.Ldexp, whose zero/NaN/Inf/denormal
+// bookkeeping dominates the fill profile; the product itself rounds
+// (and gradually underflows) exactly as Ldexp would.
+func ldexpDown(f float64, k int) float64 {
+	if k > 1022 {
+		// 2^-k is not representable; split the shift. The small factor
+		// is applied first, while the value is still normal and the
+		// multiply exact, so only the final 2^-1022 step rounds —
+		// peeling 2^-1022 first would round twice and can differ from
+		// Ldexp by one ulp at the bottom of the subnormal range
+		// (TestLdexpDown covers the whole contract range).
+		f *= math.Float64frombits(uint64(1023-(k-1022)) << 52)
+		k = 1022
+	}
+	return f * math.Float64frombits(uint64(1023-k)<<52)
+}
+
+// Norm returns the accumulated value as a normalized Number.
+func (a Acc) Norm() Number {
+	return Number{frac: a.frac, exp: a.exp}.norm()
+}
+
+// DivFloat returns the accumulated value divided by f as a normalized
+// Number, in a single normalization step. f must be finite and
+// non-zero, the same contract as Number.DivFloat.
+func (a Acc) DivFloat(f float64) Number {
+	if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) { //lint:allow floatcmp same exact-zero divisor contract as Number.Div
+		//lint:allow libpanic same contract as Number.Div: the recursions divide by provably positive cell counts
+		panic("scale: Acc.DivFloat by zero or non-finite divisor")
+	}
+	return Number{frac: a.frac / f, exp: a.exp}.norm()
+}
+
+// AddMul returns n + t*f with a single normalization — the fused form
+// of n.Add(t.Mul(f)) the V-recursion of Eq. 9 runs on.
+func (n Number) AddMul(t, f Number) Number {
+	var a Acc
+	a.Init(n)
+	a.AddMul(t, f)
+	return a.Norm()
+}

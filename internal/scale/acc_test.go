@@ -1,0 +1,118 @@
+package scale
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAccMatchesEagerSum: the deferred-normalization accumulator must
+// agree with the eager Add/Mul chain it replaced, across magnitudes
+// spanning far more than the float64 exponent range.
+func TestAccMatchesEagerSum(t *testing.T) {
+	terms := []Number{
+		FromFloat64(1.5),
+		FromLog(900),  // far above float64 range
+		FromLog(-900), // far below
+		FromFloat64(-0.25),
+		FromLog(899.5),
+		FromFloat64(3.75e-300),
+		Zero,
+	}
+	var acc Acc
+	eager := Zero
+	for _, n := range terms {
+		acc.Add(n)
+		eager = eager.Add(n)
+	}
+	got, want := acc.Norm(), eager
+	if got.Sign() != want.Sign() {
+		t.Fatalf("sign: got %v want %v", got, want)
+	}
+	// Compare via the ratio, the scale-free equality test.
+	if r := got.Ratio(want); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("acc sum %v, eager sum %v (ratio %v)", got, want, r)
+	}
+}
+
+// TestAccAddMulMatchesFused: Acc.AddMul and the fused Number.AddMul
+// must equal the unfused n + t*f.
+func TestAccAddMulMatchesFused(t *testing.T) {
+	n := FromLog(200)
+	tt := FromLog(199)
+	f := FromFloat64(0.37)
+	want := n.Add(tt.Mul(f))
+	if got := n.AddMul(tt, f); math.Abs(got.Ratio(want)-1) > 1e-15 {
+		t.Errorf("Number.AddMul = %v, want %v", got, want)
+	}
+	var a Acc
+	a.Init(n)
+	a.AddMul(tt, f)
+	if got := a.Norm(); math.Abs(got.Ratio(want)-1) > 1e-15 {
+		t.Errorf("Acc.AddMul = %v, want %v", got, want)
+	}
+	// Zero operands contribute nothing.
+	a.Init(n)
+	a.AddMul(Zero, f)
+	a.AddMul(tt, Zero)
+	if got := a.Norm(); got.Cmp(n) != 0 {
+		t.Errorf("zero AddMul changed the sum: %v != %v", got, n)
+	}
+}
+
+// TestAccAbsorption: contributions more than ~1075 binary orders below
+// the running sum are absorbed, matching Number.Add; a later large
+// term still replaces a small running sum.
+func TestAccAbsorption(t *testing.T) {
+	big := FromLog(1000)
+	tiny := FromLog(-1000)
+	var a Acc
+	a.Init(big)
+	a.Add(tiny)
+	if got := a.Norm(); got.Cmp(big) != 0 {
+		t.Errorf("tiny term not absorbed: %v != %v", got, big)
+	}
+	a.Init(tiny)
+	a.Add(big)
+	if got := a.Norm(); math.Abs(got.Ratio(big)-1) > 1e-15 {
+		t.Errorf("large term did not take over: %v != %v", got, big)
+	}
+}
+
+// TestAccDivFloat: single-normalization division, and the zero/non-
+// finite divisor panic contract shared with Number.Div.
+func TestAccDivFloat(t *testing.T) {
+	var a Acc
+	a.Init(FromFloat64(7))
+	a.Add(FromFloat64(5))
+	want := FromFloat64(4)
+	if got := a.DivFloat(3); got.Cmp(want) != 0 {
+		t.Errorf("(7+5)/3 = %v, want %v", got, want)
+	}
+	for _, bad := range []float64{0, math.NaN(), math.Inf(1)} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DivFloat(%v) did not panic", bad)
+				}
+			}()
+			a.DivFloat(bad)
+		}()
+	}
+}
+
+// TestLdexpDown: the bit-twiddled alignment multiply must agree with
+// math.Ldexp over its whole contract range 0 <= k <= 1075, including
+// the gradual-underflow region.
+func TestLdexpDown(t *testing.T) {
+	fracs := []float64{0.5, -0.9999999999999999, 0.7531, 1.999, -0.5000000000000001}
+	for _, f := range fracs {
+		for k := 0; k <= 1075; k++ {
+			got := ldexpDown(f, k)
+			want := math.Ldexp(f, -k)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) { //lint:allow floatcmp bit-exact agreement with math.Ldexp is the contract under test
+				t.Fatalf("ldexpDown(%v, %d) = %g, want %g", f, k, got, want)
+			}
+		}
+	}
+}

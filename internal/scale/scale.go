@@ -61,13 +61,23 @@ func FromLog(x float64) Number {
 }
 
 // norm renormalizes so that |frac| is in [0.5, 1), or returns Zero for a
-// zero fraction.
+// zero fraction. The common case — a normal, finite fraction — is a
+// pure bit manipulation; zero, subnormal and non-finite fractions take
+// math.Frexp's general path.
 func (n Number) norm() Number {
-	if n.IsZero() {
-		return Number{}
+	bits := math.Float64bits(n.frac)
+	be := int(bits >> 52 & 0x7ff)
+	if be == 0 || be == 0x7ff {
+		if n.IsZero() {
+			return Number{}
+		}
+		f, e := math.Frexp(n.frac)
+		return Number{frac: f, exp: n.exp + e}
 	}
-	f, e := math.Frexp(n.frac)
-	return Number{frac: f, exp: n.exp + e}
+	return Number{
+		frac: math.Float64frombits(bits&^(uint64(0x7ff)<<52) | uint64(1022)<<52),
+		exp:  n.exp + be - 1022,
+	}
 }
 
 // IsZero reports whether n is 0. The scaled representation keeps
@@ -140,7 +150,7 @@ func (n Number) Add(m Number) Number {
 	if shift > 1075 { // smaller operand is below one ulp of the larger
 		return n
 	}
-	f := n.frac + math.Ldexp(m.frac, -shift)
+	f := n.frac + ldexpDown(m.frac, shift)
 	return Number{frac: f, exp: n.exp}.norm()
 }
 

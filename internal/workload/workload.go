@@ -7,12 +7,16 @@ package workload
 
 import (
 	"fmt"
-	"sync"
 
 	"xbar/internal/combin"
 	"xbar/internal/core"
+	"xbar/internal/parallel"
 	"xbar/internal/revenue"
 )
+
+// Workers bounds the worker pool the sweeps fan out on; zero selects
+// runtime.GOMAXPROCS(0). cmd/experiments exposes it as -workers.
+var Workers int
 
 // Point is one (N, value) sample of a figure series.
 type Point struct {
@@ -35,32 +39,21 @@ func FigureNs() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }
 func Table2Ns() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128, 256} }
 
 // blockingSweep evaluates blocking of the first class for the switch
-// builder at each N. The solves are independent, so they run
-// concurrently (one goroutine per sweep point; the largest N dominates
-// anyway).
+// builder at each N. Each point is its own per-route model (the tilde
+// loads normalize by C(n, a), see docs/PERFORMANCE.md), so the points
+// are solved independently on the bounded pool, in input order.
 func blockingSweep(ns []int, label string, build func(n int) core.Switch) (Series, error) {
-	s := Series{Label: label, Points: make([]Point, len(ns))}
-	errs := make([]error, len(ns))
-	var wg sync.WaitGroup
-	for i, n := range ns {
-		wg.Add(1)
-		go func(i, n int) {
-			defer wg.Done()
-			res, err := core.Solve(build(n))
-			if err != nil {
-				errs[i] = fmt.Errorf("workload: %s at N=%d: %w", label, n, err)
-				return
-			}
-			s.Points[i] = Point{N: n, Value: res.Blocking[0]}
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	points, err := parallel.Map(Workers, ns, func(_, n int) (Point, error) {
+		res, err := core.Solve(build(n))
 		if err != nil {
-			return Series{}, err
+			return Point{}, fmt.Errorf("workload: %s at N=%d: %w", label, n, err)
 		}
+		return Point{N: n, Value: res.Blocking[0]}, nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
-	return s, nil
+	return Series{Label: label, Points: points}, nil
 }
 
 // Figure1 reproduces the smooth-traffic figure: one Bernoulli class
@@ -172,26 +165,34 @@ func Figure4Ns() []int { return []int{4, 8, 16, 32, 64} }
 // the extra contention of multi-rate requests.
 func Figure4(ns []int) ([]Series, error) {
 	rows := Table1(ns)
-	one := Series{Label: "a=1"}
-	two := Series{Label: "a=2"}
-	for i, n := range ns {
+	type pair struct{ one, two Point }
+	pairs, err := parallel.Map(Workers, ns, func(i, n int) (pair, error) {
 		sw1 := core.NewSwitch(n, n, core.AggregateClass{
 			Name: "rho1", A: 1, AlphaTilde: rows[i].Rho1, Mu: 1,
 		})
 		res1, err := core.Solve(sw1)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		one.Points = append(one.Points, Point{N: n, Value: res1.Blocking[0]})
-
 		sw2 := core.NewSwitch(n, n, core.AggregateClass{
 			Name: "rho2", A: 2, AlphaTilde: rows[i].Rho2, Mu: 1,
 		})
 		res2, err := core.Solve(sw2)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		two.Points = append(two.Points, Point{N: n, Value: res2.Blocking[0]})
+		return pair{
+			one: Point{N: n, Value: res1.Blocking[0]},
+			two: Point{N: n, Value: res2.Blocking[0]},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	one := Series{Label: "a=1", Points: make([]Point, len(pairs))}
+	two := Series{Label: "a=2", Points: make([]Point, len(pairs))}
+	for i, p := range pairs {
+		one.Points[i], two.Points[i] = p.one, p.two
 	}
 	return []Series{one, two}, nil
 }
@@ -232,42 +233,30 @@ func Table2Switch(p Table2Params, n int) core.Switch {
 }
 
 // Table2 computes the Table 2 rows for one parameter set over the
-// given sizes, one goroutine per row (each row is several full
-// lattice solves for the gradients).
+// given sizes on the bounded pool. The GradRho1, Blocking, and W
+// columns of one row are all reads off a single retained lattice
+// (revenue.Analysis runs on core.SweepSolver); only the bursty
+// central-difference column re-solves, through the recycled scratch
+// solver.
 func Table2(p Table2Params, ns []int) ([]Table2Row, error) {
 	weights := []float64{p.W1, p.W2}
-	rows := make([]Table2Row, len(ns))
-	errs := make([]error, len(ns))
-	var wg sync.WaitGroup
-	for i, n := range ns {
-		wg.Add(1)
-		go func(i, n int) {
-			defer wg.Done()
-			a, err := revenue.New(Table2Switch(p, n), weights)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			row := Table2Row{
-				Set:      p.Set,
-				N:        n,
-				GradRho1: a.GradientRhoClosed(0),
-				Blocking: a.Result().Blocking[0],
-				W:        a.W(),
-			}
-			if n >= 2 {
-				row.GradBeta2 = a.GradientBetaMu(1, 1e-4)
-			}
-			rows[i] = row
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	return parallel.Map(Workers, ns, func(_, n int) (Table2Row, error) {
+		a, err := revenue.New(Table2Switch(p, n), weights)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
-	}
-	return rows, nil
+		row := Table2Row{
+			Set:      p.Set,
+			N:        n,
+			GradRho1: a.GradientRhoClosed(0),
+			Blocking: a.Result().Blocking[0],
+			W:        a.W(),
+		}
+		if n >= 2 {
+			row.GradBeta2 = a.GradientBetaMu(1, 1e-4)
+		}
+		return row, nil
+	})
 }
 
 // DenseFigureNs returns every size 1..128, matching the figures' dense
