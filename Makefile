@@ -4,9 +4,9 @@
 GO ?= go
 # Sequence number of the BENCH_<n>.json trajectory point `make bench`
 # writes (docs/PERFORMANCE.md); bump per PR.
-BENCH_N ?= 2
+BENCH_N ?= 3
 
-.PHONY: all help build vet lint test test-race test-short cover bench bench-short experiments experiments-quick examples clean
+.PHONY: all help build vet lint test test-race test-short cover bench bench-short profile experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -23,6 +23,7 @@ help:
 	@echo "  bench        run benchmarks and write BENCH_$(BENCH_N).json (ns/op, B/op, allocs/op;"
 	@echo "               set BENCH_N=<n> for the trajectory point, see docs/PERFORMANCE.md)"
 	@echo "  bench-short  one-iteration benchmark smoke run, JSON to bench_short.json"
+	@echo "  profile      CPU-profile the N=256 lattice fill and print the hot functions"
 	@echo "  experiments  regenerate every paper table/figure into results/"
 	@echo "  examples     run the example programs"
 	@echo "  clean        remove generated files"
@@ -64,6 +65,12 @@ bench-short:
 	$(GO) run ./cmd/benchjson -in bench_output.txt -o bench_short.json
 	@echo "wrote bench_short.json"
 
+# CPU-profiles the N=256 Algorithm 1 fill (the hot path every tuning
+# PR targets, docs/PERFORMANCE.md) and prints the top hot functions.
+profile:
+	$(GO) test -run XXX -bench 'BenchmarkParallelFill/alg1/N=256/w1' -benchtime 200x -cpuprofile cpu.prof -o xbar.test .
+	$(GO) tool pprof -top -nodecount 10 xbar.test cpu.prof
+
 # Regenerates every paper table and figure plus the validation,
 # ablation and extension studies into results/.
 experiments:
@@ -81,4 +88,4 @@ examples:
 	$(GO) run ./examples/sizing
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_short.json
+	rm -f cover.out test_output.txt bench_output.txt bench_short.json cpu.prof xbar.test

@@ -223,6 +223,94 @@ func BenchmarkAlg1VsAlg2(b *testing.B) {
 	})
 }
 
+// BenchmarkCrossCheckAllocs pins the allocation behavior of the exact
+// cross-check evaluators after the coefficient-buffer reuse: the
+// direct state sum at its feasible scale and the convolution evaluator
+// at a production size (its cost is polynomial, so N=64 is cheap). The
+// allocs/op column is the guarded quantity — each solve now recycles
+// its Phi/Psi tables and convolution vectors internally instead of
+// allocating per class.
+func BenchmarkCrossCheckAllocs(b *testing.B) {
+	classes := []core.AggregateClass{
+		{Name: "p", A: 1, AlphaTilde: 0.0012, Mu: 1},
+		{Name: "b", A: 2, AlphaTilde: 0.0008, BetaTilde: 0.0004, Mu: 1},
+	}
+	b.Run("direct/N=12", func(b *testing.B) {
+		sw := core.NewSwitch(12, 12, classes...)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.SolveDirect(sw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkRes = res
+		}
+	})
+	b.Run("convolution/N=64", func(b *testing.B) {
+		sw := core.NewSwitch(64, 64, classes...)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.SolveConvolution(sw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkRes = res
+		}
+	})
+}
+
+// BenchmarkParallelFill measures the lattice fill proper across system
+// sizes and worker counts — the scaling table of docs/PERFORMANCE.md
+// §5. The solver is built once and recycled with Reuse, so an
+// iteration is exactly one Q/W (or F/D) fill: no per-op lattice
+// allocation and no GC tax, unlike the fresh-solver numbers of
+// BenchmarkAlg1VsAlg2. Worker counts above the host's core count
+// measure scheduling overhead, not speedup.
+func BenchmarkParallelFill(b *testing.B) {
+	for _, n := range []int{64, 256, 512, 1024} {
+		sw := core.NewSwitch(n, n,
+			core.AggregateClass{Name: "p", A: 1, AlphaTilde: 0.0012, Mu: 1},
+			core.AggregateClass{Name: "b", A: 1, AlphaTilde: 0.0012, BetaTilde: 0.0012, Mu: 1},
+		)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("alg1/N=%d/w%d", n, w), func(b *testing.B) {
+				s, err := core.NewSolver(sw, core.Parallel(w, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Reuse(sw); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sinkRes = s.Result()
+			})
+		}
+	}
+	sw := core.NewSwitch(256, 256,
+		core.AggregateClass{Name: "p", A: 1, AlphaTilde: 0.0012, Mu: 1},
+		core.AggregateClass{Name: "b", A: 1, AlphaTilde: 0.0012, BetaTilde: 0.0012, Mu: 1},
+	)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("alg2/N=256/w%d", w), func(b *testing.B) {
+			s, err := core.NewMVASolver(sw, core.Parallel(w, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Reuse(sw); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sinkRes = s.Result()
+		})
+	}
+}
+
 // BenchmarkBaselines is Ablation B: the pooled link, the slotted
 // crossbar and the MIN against the asynchronous crossbar.
 func BenchmarkBaselines(b *testing.B) {

@@ -9,6 +9,16 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
 // ignored. Repeated runs of one benchmark (-count > 1) are averaged.
+//
+// With -compare the command instead diffs two trajectory files and
+// renders a delta table (ns/op, B/op, allocs/op, percent change):
+//
+//	benchjson -compare BENCH_2.json BENCH_3.json [-fail-above 25]
+//
+// -fail-above makes the exit status enforce a regression budget: any
+// shared benchmark whose ns/op grew by more than the given percentage
+// fails the run (CI's bench-short job uses this against the committed
+// trajectory point).
 package main
 
 import (
@@ -17,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,7 +55,31 @@ func main() {
 	in := flag.String("in", "", "benchmark text input (default stdin)")
 	out := flag.String("o", "", "JSON output path (default stdout)")
 	baseline := flag.String("baseline", "", "earlier BENCH_*.json to embed as the baseline section")
+	compareMode := flag.Bool("compare", false, "diff two BENCH_*.json files given as arguments instead of parsing benchmark text")
+	failAbove := flag.Float64("fail-above", 0, "with -compare: exit non-zero if any ns/op regression exceeds this percentage (0 disables)")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare wants exactly two JSON files, got %d arguments", flag.NArg()))
+		}
+		old, err := readBaseline(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readBaseline(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		report, worst := compare(old, cur)
+		if _, err := io.WriteString(os.Stdout, report); err != nil {
+			fatal(err)
+		}
+		if *failAbove > 0 && worst > *failAbove {
+			fatal(fmt.Errorf("worst ns/op regression %+.1f%% exceeds the -fail-above budget of %.1f%%", worst, *failAbove))
+		}
+		return
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {
@@ -152,6 +188,62 @@ func parse(r io.Reader) (map[string]Metrics, error) {
 		}
 	}
 	return out, nil
+}
+
+// compare renders the delta table between two benchmark maps and
+// returns it with the worst ns/op regression percentage among shared
+// benchmarks (negative when everything got faster). Benchmarks present
+// in only one file are listed but carry no delta.
+func compare(old, cur map[string]Metrics) (string, float64) {
+	names := make([]string, 0, len(old)+len(cur))
+	for name := range old {
+		names = append(names, name)
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-52s %14s %14s %9s %9s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "B/op", "allocs")
+	worst := math.Inf(-1)
+	shared := 0
+	for _, name := range names {
+		o, haveOld := old[name]
+		c, haveCur := cur[name]
+		switch {
+		case !haveCur:
+			fmt.Fprintf(&b, "%-52s %14.0f %14s %9s %9s %8s\n", name, o.NsPerOp, "-", "removed", "-", "-")
+		case !haveOld:
+			fmt.Fprintf(&b, "%-52s %14s %14.0f %9s %9s %8s\n", name, "-", c.NsPerOp, "new", "-", "-")
+		default:
+			shared++
+			d := pct(o.NsPerOp, c.NsPerOp)
+			if d > worst {
+				worst = d
+			}
+			fmt.Fprintf(&b, "%-52s %14.0f %14.0f %+8.1f%% %+8.1f%% %+7.1f%%\n",
+				name, o.NsPerOp, c.NsPerOp, d, pct(o.BytesPerOp, c.BytesPerOp), pct(o.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+	if shared == 0 {
+		worst = 0
+	}
+	fmt.Fprintf(&b, "\n%d shared benchmarks; worst ns/op regression %+.1f%%\n", shared, worst)
+	return b.String(), worst
+}
+
+// pct is the percent change from old to new; a vanished or zero old
+// value yields 0 so synthetic counters (0 allocs/op) do not divide by
+// zero.
+func pct(old, new float64) float64 {
+	if old == 0 { //lint:allow floatcmp exact zero is the division guard, not a tolerance test
+		return 0
+	}
+	return (new - old) / old * 100
 }
 
 // readBaseline loads an earlier BENCH_*.json (or a bare benchmark map)

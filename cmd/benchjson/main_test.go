@@ -59,3 +59,46 @@ func TestParseIgnoresNonBench(t *testing.T) {
 		t.Errorf("parsed %v from non-benchmark input", got)
 	}
 }
+
+func TestCompare(t *testing.T) {
+	old := map[string]Metrics{
+		"BenchmarkA":    {NsPerOp: 1000, BytesPerOp: 800, AllocsPerOp: 10},
+		"BenchmarkB":    {NsPerOp: 2000, BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkGone": {NsPerOp: 50},
+	}
+	cur := map[string]Metrics{
+		"BenchmarkA":   {NsPerOp: 500, BytesPerOp: 400, AllocsPerOp: 10},
+		"BenchmarkB":   {NsPerOp: 2500, BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkNew": {NsPerOp: 75},
+	}
+	report, worst := compare(old, cur)
+	if worst != 25 {
+		t.Errorf("worst regression = %v, want 25 (BenchmarkB 2000 -> 2500)", worst)
+	}
+	for _, want := range []string{
+		"BenchmarkA", "-50.0%", // halved ns/op
+		"BenchmarkB", "+25.0%",
+		"BenchmarkGone", "removed",
+		"BenchmarkNew", "new",
+		"2 shared benchmarks",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareImprovementOnly(t *testing.T) {
+	old := map[string]Metrics{"BenchmarkA": {NsPerOp: 1000}}
+	cur := map[string]Metrics{"BenchmarkA": {NsPerOp: 900}}
+	if _, worst := compare(old, cur); worst >= 0 {
+		t.Errorf("worst = %v for a pure improvement, want negative", worst)
+	}
+}
+
+func TestCompareNoShared(t *testing.T) {
+	_, worst := compare(map[string]Metrics{"BenchmarkA": {NsPerOp: 1}}, map[string]Metrics{"BenchmarkB": {NsPerOp: 1}})
+	if worst != 0 {
+		t.Errorf("worst = %v with no shared benchmarks, want 0", worst)
+	}
+}

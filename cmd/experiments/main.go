@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	experiments -run all [-out results] [-quick]
+//	experiments -run all [-out results] [-quick] [-workers n]
+//	            [-cpuprofile f] [-memprofile f] [-trace f]
 //	experiments -run fig1|fig2|fig3|fig4|table1|table2|simcheck|ablation|baselines|network
 //	experiments -run admission|ipp|clos|transient|hotspot|wdm|retrial|traffic|overflow|inputq|figdense  (extensions)
 //
@@ -17,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"xbar/internal/cli"
 	"xbar/internal/experiments"
 	"xbar/internal/workload"
 )
@@ -28,8 +30,13 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter simulation horizons")
 	workers := flag.Int("workers", 0,
 		"worker-pool size for sweeps and replications (0 = GOMAXPROCS)")
+	prof := cli.NewProfiler(flag.CommandLine)
 	flag.Parse()
 	workload.Workers = *workers
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -42,13 +49,16 @@ func main() {
 			}
 			fmt.Println()
 		}
-		return
+	} else {
+		step, ok := steps[*run]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *run))
+		}
+		if err := step(*out, *quick); err != nil {
+			fatal(err)
+		}
 	}
-	step, ok := steps[*run]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *run))
-	}
-	if err := step(*out, *quick); err != nil {
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 }

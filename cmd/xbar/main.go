@@ -8,7 +8,13 @@
 //	xbar -n1 128 -n2 128 \
 //	     -class voice:1:0.0024:0:1 \
 //	     -class video:2:0.001:0.0005:0.5 \
-//	     [-alg alg1|alg2|direct|conv] [-weights 1,0.0001] [-occupancy]
+//	     [-alg alg1|alg2|direct|conv] [-weights 1,0.0001] [-occupancy] \
+//	     [-workers n] [-tile t] [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// -workers and -tile select the wavefront-parallel lattice fill for
+// the alg1/alg2 evaluators (0 = automatic: sequential on small
+// switches, parallel above the cutoff). The profiling flags write
+// standard Go pprof/trace artifacts.
 //
 // Each -class flag is name:a:alphaTilde:betaTilde:mu in the paper's
 // aggregate ("tilde") units: intensity per particular input set over
@@ -32,22 +38,37 @@ func main() {
 	alg := flag.String("alg", "alg1", "evaluator: alg1 (scaled recursion), alg2 (mean value), direct (state sum), conv (convolution)")
 	weights := flag.String("weights", "", "comma-separated revenue weights, one per class; enables the revenue report")
 	occupancy := flag.Bool("occupancy", false, "print the occupancy distribution (conv evaluator)")
+	workers := flag.Int("workers", 0, "lattice-fill workers: 0 auto, 1 sequential, n parallel (alg1/alg2)")
+	tile := flag.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
+	prof := cli.NewProfiler(flag.CommandLine)
 	var classes cli.ClassFlag
 	flag.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbar:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "xbar:", err)
+			os.Exit(1)
+		}
+	}()
 
 	if len(classes) == 0 {
 		classes = cli.ClassFlag{{Name: "default", A: 1, AlphaTilde: 0.0024, Mu: 1}}
 	}
 	sw := core.NewSwitch(*n1, *n2, classes...)
+	fill := core.Parallel(*workers, *tile)
 
 	var res *core.Result
-	var err error
 	switch *alg {
 	case "alg1":
-		res, err = core.Solve(sw)
+		res, err = core.Solve(sw, fill)
 	case "alg2":
-		res, err = core.SolveMVA(sw)
+		res, err = core.SolveMVA(sw, fill)
 	case "direct":
 		res, err = core.SolveDirect(sw)
 	case "conv":

@@ -100,7 +100,7 @@ func TestListChecks(t *testing.T) {
 	if code != 0 {
 		t.Errorf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"floatcmp", "detrand", "libpanic", "nanguard", "errcheck"} {
+	for _, name := range []string{"floatcmp", "detrand", "libpanic", "nanguard", "errcheck", "waitcheck"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %q:\n%s", name, out)
 		}

@@ -88,6 +88,7 @@ func All() []*Analyzer {
 		FloatCmp,
 		LibPanic,
 		NaNGuard,
+		WaitCheck,
 	}
 }
 

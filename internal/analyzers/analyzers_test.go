@@ -144,6 +144,10 @@ func TestErrcheckGolden(t *testing.T) {
 	golden(t, ErrcheckLite, "errcheck", "xbar/internal/fixtures/errcheck")
 }
 
+func TestWaitCheckGolden(t *testing.T) {
+	golden(t, WaitCheck, "waitcheck", "xbar/internal/fixtures/waitcheck")
+}
+
 func TestByNameAndAll(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {

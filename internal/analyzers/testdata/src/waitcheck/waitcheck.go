@@ -1,0 +1,59 @@
+// Package waitcheck holds golden-test fixtures for the waitcheck
+// check.
+package waitcheck
+
+import "sync"
+
+type counter struct{ wg sync.WaitGroup }
+
+// Add is a same-named method on an unrelated type; calling it inside a
+// goroutine is fine.
+func (c *counter) Add(n int) {}
+
+func spawn() {
+	var wg sync.WaitGroup
+
+	// The correct pattern: Add before the go statement.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+
+	// The footgun: Wait can return before this Add runs.
+	go func() {
+		wg.Add(1) // want "waitcheck: sync.WaitGroup.Add inside the spawned goroutine"
+		defer wg.Done()
+	}()
+
+	// Still spawned work, even without a literal body.
+	go wg.Add(1) // want "waitcheck: sync.WaitGroup.Add inside the spawned goroutine"
+
+	// Nested literals inside the spawned body are still the goroutine's
+	// dynamic extent.
+	go func() {
+		helper := func() {
+			wg.Add(1) // want "waitcheck: sync.WaitGroup.Add inside the spawned goroutine"
+		}
+		helper()
+		defer wg.Done()
+	}()
+
+	// Negative adjustments race identically.
+	go func() {
+		wg.Add(-1) // want "waitcheck: sync.WaitGroup.Add inside the spawned goroutine"
+	}()
+
+	// Unrelated Add methods don't trip the check.
+	var c counter
+	go func() {
+		c.Add(1)
+	}()
+
+	// The suppression directive works here as everywhere.
+	go func() {
+		//lint:allow waitcheck fixture for the suppression directive
+		wg.Add(1)
+	}()
+
+	wg.Wait()
+}

@@ -1,0 +1,64 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitCheck flags sync.WaitGroup.Add calls issued from inside the
+// goroutine the WaitGroup is counting — the one concurrency footgun
+// the wavefront fill scheduler (internal/parallel) must avoid. The
+// race: Wait may observe the counter at zero and return before a
+// spawned goroutine's Add runs, so the "counted" goroutine outlives
+// the barrier. The Go memory model requires Add to happen before both
+// the go statement and Wait; the fix is always to move Add in front of
+// the go statement that spawns the work.
+var WaitCheck = &Analyzer{
+	Name: "waitcheck",
+	Doc:  "sync.WaitGroup.Add inside the spawned goroutine; call Add before the go statement",
+	Run:  runWaitCheck,
+}
+
+func runWaitCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// go wg.Add(1) itself, plus any Add anywhere in a spawned
+			// function literal's body (including nested literals the
+			// goroutine may invoke or spawn).
+			ast.Inspect(g.Call, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isWaitGroupAdd(pass.Info, call) {
+					pass.Reportf(call.Pos(),
+						"sync.WaitGroup.Add inside the spawned goroutine can race with Wait; call Add before the go statement")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isWaitGroupAdd reports whether call invokes (*sync.WaitGroup).Add.
+func isWaitGroupAdd(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if !isPkgFunc(fn, "sync", "Add") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

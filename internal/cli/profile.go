@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiler bundles the standard Go profiling hooks behind command-line
+// flags so every xbar binary exposes them identically:
+//
+//	-cpuprofile f   CPU profile (go tool pprof)
+//	-memprofile f   heap profile written at exit
+//	-trace f        execution trace (go tool trace) — the tool for
+//	                inspecting the wavefront schedule's goroutines
+//
+// Usage: p := cli.NewProfiler(flag.CommandLine), then after flag.Parse
+// call p.Start() and defer the returned stop function.
+type Profiler struct {
+	cpu, mem, trc *string
+
+	cpuFile, trcFile *os.File
+}
+
+// NewProfiler registers the profiling flags on fs.
+func NewProfiler(fs *flag.FlagSet) *Profiler {
+	return &Profiler{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to `file`"),
+		mem: fs.String("memprofile", "", "write a heap profile to `file` at exit"),
+		trc: fs.String("trace", "", "write an execution trace to `file`"),
+	}
+}
+
+// Start begins the captures requested by the parsed flags and returns
+// the stop function that finalizes them; call it once flags are parsed
+// and defer the result. With no profiling flags set both are no-ops.
+func (p *Profiler) Start() (stop func() error, err error) {
+	if *p.cpu != "" {
+		if p.cpuFile, err = os.Create(*p.cpu); err != nil {
+			return nil, fmt.Errorf("cli: %w", err)
+		}
+		if err = pprof.StartCPUProfile(p.cpuFile); err != nil {
+			//lint:allow errcheck unwinding a failed start; the start error is the one worth reporting
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("cli: start CPU profile: %w", err)
+		}
+	}
+	if *p.trc != "" {
+		if p.trcFile, err = os.Create(*p.trc); err != nil {
+			p.stopStarted()
+			return nil, fmt.Errorf("cli: %w", err)
+		}
+		if err = trace.Start(p.trcFile); err != nil {
+			//lint:allow errcheck unwinding a failed start; the start error is the one worth reporting
+			p.trcFile.Close()
+			p.stopStarted()
+			return nil, fmt.Errorf("cli: start trace: %w", err)
+		}
+	}
+	return p.stop, nil
+}
+
+// stopStarted unwinds the captures already running when a later Start
+// step fails.
+func (p *Profiler) stopStarted() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		//lint:allow errcheck unwinding a failed start; the start error is the one worth reporting
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// stop finalizes every running capture and writes the heap profile if
+// one was requested. The first error wins; later captures still stop.
+func (p *Profiler) stop() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if p.trcFile != nil {
+		trace.Stop()
+		keep(p.trcFile.Close())
+		p.trcFile = nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpuFile.Close())
+		p.cpuFile = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // settle the heap so the profile reflects live data
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("cli: %w", first)
+	}
+	return nil
+}

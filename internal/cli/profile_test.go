@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProfilerCaptures runs every hook against temp files and checks
+// each artifact is written and non-empty.
+func TestProfilerCaptures(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	trc := filepath.Join(dir, "trace.out")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfiler(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the captures have something to record.
+	sum := 0
+	for i := 0; i < 1e6; i++ {
+		sum += i
+	}
+	_ = sum
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem, trc} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}
+
+// TestProfilerNoFlags checks the no-profiling path is a clean no-op.
+func TestProfilerNoFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfiler(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilerBadPath checks a failed capture start surfaces the error
+// instead of leaving a half-started profiler behind.
+func TestProfilerBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := NewProfiler(fs)
+	bad := filepath.Join(t.TempDir(), "missing", "cpu.out")
+	if err := fs.Parse([]string{"-cpuprofile", bad}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("Start with an unwritable path succeeded")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"xbar/internal/combin"
+	"xbar/internal/parallel"
 	"xbar/internal/scale"
 )
 
@@ -25,7 +26,8 @@ import (
 // Section 6 applied at every step, letting the recursion run far past
 // the N ~ 85 point where raw float64 underflows (Q(N) ~ 1/(N1! N2!)).
 type Solver struct {
-	sw Switch
+	sw  Switch
+	opt Options
 	// q holds Q on the (N1+1) x (N2+1) lattice, row-major by n1.
 	q []scale.Number
 	// poisson and bursty hold the per-class recursion constants,
@@ -33,8 +35,17 @@ type Solver struct {
 	// instead of several per cell).
 	poisson []poissonTerm
 	bursty  []burstyTerm
-	// vScratch recycles the bursty V lattices across Reuse calls.
-	vScratch [][]scale.Number
+	// maxA is the largest class rate a_r, the boundary band width: at
+	// cells with n1 >= maxA and n2 >= maxA every class displacement
+	// lands on the lattice and the fill can skip the per-class guards.
+	maxA int
+	// wScratch recycles the bursty W lattices across Reuse calls.
+	wScratch [][]scale.Acc
+	// inv caches 1/n for n = 1..max(N1, N2): the fill multiplies by
+	// the reciprocal of the cell count (scale.Acc.MulNorm) instead of
+	// dividing, one rounding more than the exact division and ~15
+	// cycles less per cell.
+	inv []float64
 }
 
 // poissonTerm is one R1 class's hoisted fill constants.
@@ -45,19 +56,31 @@ type poissonTerm struct {
 }
 
 // burstyTerm is one R2 class's hoisted fill constants plus its retained
-// V lattice (Eq. 9).
+// W lattice, the Eq. 9 V lattice pre-scaled by the class coefficient:
+//
+//	W(m, r) = a_r rho_r V(m, r)
+//	        = a_r rho_r Q(m - a_r I) + (beta_r/mu_r) W(m - a_r I, r).
+//
+// Pre-scaling folds the a_r rho_r multiply of Eq. 10's class term into
+// the W recursion itself, where it rides the Q(m - a_r I) product that
+// is computed anyway; the Q accumulation then adds W verbatim. The
+// cells are stored as raw scale.Acc working values — never normalized,
+// which the fill's hot path is allowed because a W chain grows by at
+// most one binary order per diagonal step (see scale.Acc).
 type burstyTerm struct {
 	a      int
 	off    int          // lattice offset of the (a, a) displacement
 	coef   scale.Number // a_r * rho_r
 	betaMu scale.Number // beta_r / mu_r
-	v      []scale.Number
+	w      []scale.Acc
 }
 
-// NewSolver validates the switch and fills the Q lattice.
-func NewSolver(sw Switch) (*Solver, error) {
+// NewSolver validates the switch and fills the Q lattice. An optional
+// Options argument selects the fill schedule (see Parallel); the
+// default is the auto heuristic.
+func NewSolver(sw Switch, opts ...Options) (*Solver, error) {
 	s := &Solver{}
-	if err := s.Reuse(sw); err != nil {
+	if err := s.Reuse(sw, opts...); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -67,10 +90,15 @@ func NewSolver(sw Switch) (*Solver, error) {
 // the Q and V buffers whenever their capacity allows. This is the
 // allocation-free path for repeated solves of same-size systems — the
 // reduced-load fixed point (internal/network) and the perturbed
-// re-solves of the revenue gradients run through it.
-func (s *Solver) Reuse(sw Switch) error {
+// re-solves of the revenue gradients run through it. An optional
+// Options argument replaces the solver's fill schedule; without one
+// the schedule set at construction is kept.
+func (s *Solver) Reuse(sw Switch, opts ...Options) error {
 	if err := sw.Validate(); err != nil {
 		return err
+	}
+	if len(opts) > 0 {
+		s.opt = opts[0]
 	}
 	s.sw = sw
 	size := (sw.N1 + 1) * (sw.N2 + 1)
@@ -89,9 +117,17 @@ func (s *Solver) Reuse(sw Switch) error {
 func (s *Solver) prepare(size int) {
 	s.poisson = s.poisson[:0]
 	s.bursty = s.bursty[:0]
+	if maxN := s.sw.MaxN(); len(s.inv) <= maxN {
+		s.inv = make([]float64, maxN+1)
+		for n := 1; n <= maxN; n++ {
+			s.inv[n] = 1 / float64(n)
+		}
+	}
 	n2w := s.sw.N2 + 1
-	vUsed := 0
+	wUsed := 0
+	s.maxA = 0
 	for _, c := range s.sw.Classes {
+		s.maxA = max(s.maxA, c.A)
 		if c.IsPoisson() {
 			s.poisson = append(s.poisson, poissonTerm{
 				a:    c.A,
@@ -100,30 +136,31 @@ func (s *Solver) prepare(size int) {
 			})
 			continue
 		}
-		if vUsed == len(s.vScratch) {
-			s.vScratch = append(s.vScratch, nil)
+		if wUsed == len(s.wScratch) {
+			s.wScratch = append(s.wScratch, nil)
 		}
-		v := s.vScratch[vUsed]
-		if cap(v) >= size {
-			v = v[:size]
+		w := s.wScratch[wUsed]
+		if cap(w) >= size {
+			w = w[:size]
 		} else {
-			v = make([]scale.Number, size)
+			w = make([]scale.Acc, size)
 		}
-		s.vScratch[vUsed] = v
-		vUsed++
+		s.wScratch[wUsed] = w
+		wUsed++
 		s.bursty = append(s.bursty, burstyTerm{
 			a:      c.A,
 			off:    c.A*n2w + c.A,
 			coef:   scale.FromFloat64(float64(c.A) * c.Rho()),
 			betaMu: scale.FromFloat64(c.BetaMu()),
-			v:      v,
+			w:      w,
 		})
 	}
 }
 
-// Solve computes the performance measures for sw with Algorithm 1.
-func Solve(sw Switch) (*Result, error) {
-	s, err := NewSolver(sw)
+// Solve computes the performance measures for sw with Algorithm 1. An
+// optional Options argument selects the fill schedule.
+func Solve(sw Switch, opts ...Options) (*Result, error) {
+	s, err := NewSolver(sw, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -138,56 +175,169 @@ func (s *Solver) at(n1, n2 int) scale.Number {
 	return s.q[n1*(s.sw.N2+1)+n2]
 }
 
-// fill runs the recursion over the lattice in row-major order. The V
-// auxiliary functions (Eq. 9) follow a pure diagonal recursion, so one
-// grid per bursty class is filled alongside Q. The loop body works on
-// flat indices with hoisted per-class constants and a deferred-
+// fill runs the Eq. 10 recursion over the whole lattice: sequentially
+// in row-major order, or — when the resolved Options ask for it — as a
+// tiled wavefront on parallel.Wavefront. Every cell's dependencies
+// (the 1_i neighbor, the (a, a) diagonal predecessors, and the V
+// lattices' own (a, a) predecessors) live at strictly smaller n1 + n2,
+// so anti-diagonal tile order is a topological order and the parallel
+// fill computes bit-identical lattices for any worker count and tile
+// size. All per-cell state (the scale.Acc) is stack-local to fillBlock,
+// so no accumulator or Frexp state ever crosses goroutines.
+func (s *Solver) fill() {
+	rows, cols := s.sw.N1+1, s.sw.N2+1
+	w, tile := s.opt.plan(rows, cols)
+	if w <= 1 {
+		s.fillBlock(0, rows, 0, cols)
+		return
+	}
+	parallel.Wavefront(w, rows, cols, tile, s.fillBlock)
+}
+
+// fillBlock runs the recursion over the half-open cell block
+// [n1lo, n1hi) x [n2lo, n2hi) in row-major order. The loop body works
+// on flat indices with hoisted per-class constants and a deferred-
 // normalization accumulator (scale.Acc): each cell costs one
 // renormalization instead of several per class, which is where
-// Algorithm 1 spends its time at N = 256.
-func (s *Solver) fill() {
+// Algorithm 1 spends its time at N = 256. The n1 = 0 boundary row
+// (step direction 2, no class terms reachable) is split out so the
+// main loop carries no per-cell direction or origin branches, and each
+// row splits into the guarded boundary band (n2 < maxA, some class
+// displacement may fall off the lattice) and the unguarded interior.
+// Whether a cell takes the guarded or the interior body depends only
+// on its coordinates, never on the schedule, so the split preserves
+// the parallel fill's bit-identity guarantee.
+func (s *Solver) fillBlock(n1lo, n1hi, n2lo, n2hi int) {
 	n2w := s.sw.N2 + 1
-	for n1 := 0; n1 <= s.sw.N1; n1++ {
+	n1 := n1lo
+	if n1 == 0 {
+		s.fillRow0(n2lo, n2hi)
+		n1++
+	}
+	for ; n1 < n1hi; n1++ {
 		base := n1 * n2w
-		for n2 := 0; n2 <= s.sw.N2; n2++ {
-			i := base + n2
-			// V(m, r) = Q(m - a I) + (beta/mu) V(m - a I, r), with
-			// Q = V = 0 off the non-negative lattice.
-			for j := range s.bursty {
-				b := &s.bursty[j]
-				if n1 >= b.a && n2 >= b.a {
-					p := i - b.off
-					b.v[i] = s.q[p].AddMul(b.v[p], b.betaMu)
-				} else {
-					b.v[i] = scale.Zero
-				}
+		inv1 := s.inv[n1]
+		n2 := n2lo
+		if n1 < s.maxA {
+			// The whole row sits in the boundary band.
+			for ; n2 < n2hi; n2++ {
+				s.fillCellGuarded(n1, n2, base+n2)
 			}
-			if i == 0 {
-				s.q[0] = scale.One
+			continue
+		}
+		for lim := min(s.maxA, n2hi); n2 < lim; n2++ {
+			s.fillCellGuarded(n1, n2, base+n2)
+		}
+		if len(s.poisson) == 1 && len(s.bursty) == 1 {
+			// The paper's canonical mix — one Poisson plus one bursty
+			// class (every Section 7 figure) — goes through the fused
+			// cell kernel scale.QCellPB: one call per cell instead of
+			// one per accumulated term, with all class state hoisted
+			// into registers. The kernel is bit-identical to the
+			// generic body's wrapper sequence (TestQCellPB).
+			p0, b0 := &s.poisson[0], &s.bursty[0]
+			cp, poff := p0.coef, p0.off
+			cb, bm, boff, w := b0.coef, b0.betaMu, b0.off, b0.w
+			// Row-segment views, each re-sliced to the segment length
+			// so the per-cell indexing below carries no bounds checks.
+			lo, seg := base+n2, n2hi-n2
+			if seg <= 0 {
+				// The guarded band covered the whole segment; the
+				// displaced views below would underflow the lattice.
 				continue
 			}
-			// Step in direction i = 1 when possible, else i = 2.
-			var acc scale.Acc
-			var div float64
-			if n1 > 0 {
-				acc.Init(s.q[i-n2w])
-				div = float64(n1)
-			} else {
-				acc.Init(s.q[i-1])
-				div = float64(n2)
+			qr := s.q[lo : lo+seg]
+			qu := s.q[lo-n2w:]
+			qu = qu[:seg]
+			qp := s.q[lo-poff:]
+			qp = qp[:seg]
+			qb := s.q[lo-boff:]
+			qb = qb[:seg]
+			wd := w[lo-boff:]
+			wd = wd[:seg]
+			wr := w[lo : lo+seg]
+			for k := range qr {
+				q, wa := scale.QCellPB(qu[k], qp[k], qb[k], wd[k], cp, cb, bm, inv1)
+				wr[k] = wa
+				qr[k] = q
 			}
+			continue
+		}
+		for ; n2 < n2hi; n2++ {
+			i := base + n2
+			// Step in direction i = 1: Q(n) plus the class terms, all
+			// divided by n1. Every displacement is on the lattice, so
+			// no per-class guards.
+			var acc scale.Acc
+			acc.Init(s.q[i-n2w])
 			for j := range s.poisson {
 				p := &s.poisson[j]
-				if n1 >= p.a && n2 >= p.a {
-					acc.AddMul(s.q[i-p.off], p.coef)
-				}
+				acc.AddMul(s.q[i-p.off], p.coef)
 			}
+			// W(m, r) = a_r rho_r Q(m - a I) + (beta/mu) W(m - a I, r),
+			// folded into the accumulation as it is produced.
 			for j := range s.bursty {
 				b := &s.bursty[j]
-				acc.AddMul(b.v[i], b.coef)
+				p := i - b.off
+				var wa scale.Acc
+				wa.InitMul(s.q[p], b.coef)
+				wa.AddMulAcc(b.w[p], b.betaMu)
+				b.w[i] = wa
+				acc.AddAcc(wa)
 			}
-			s.q[i] = acc.DivFloat(div)
+			s.q[i] = acc.MulNorm(inv1)
 		}
+	}
+}
+
+// fillCellGuarded is the boundary-band cell body: identical to the
+// interior body of fillBlock except that every class displacement is
+// range-checked against the lattice edge (off-lattice Q and W are
+// zero).
+func (s *Solver) fillCellGuarded(n1, n2, i int) {
+	var acc scale.Acc
+	acc.Init(s.q[i-s.sw.N2-1])
+	for j := range s.poisson {
+		p := &s.poisson[j]
+		if n1 >= p.a && n2 >= p.a {
+			acc.AddMul(s.q[i-p.off], p.coef)
+		}
+	}
+	for j := range s.bursty {
+		b := &s.bursty[j]
+		if n1 >= b.a && n2 >= b.a {
+			p := i - b.off
+			var wa scale.Acc
+			wa.InitMul(s.q[p], b.coef)
+			wa.AddMulAcc(b.w[p], b.betaMu)
+			b.w[i] = wa
+			acc.AddAcc(wa)
+		} else {
+			b.w[i] = scale.Acc{}
+		}
+	}
+	s.q[i] = acc.MulNorm(s.inv[n1])
+}
+
+// fillRow0 fills the n1 = 0 boundary row of the block: Q(0, 0) = 1 and
+// Q(0, n2) = Q(0, n2-1)/n2 (every class term needs n1 >= a_r >= 1, and
+// the W lattices are zero on the row for the same reason).
+func (s *Solver) fillRow0(n2lo, n2hi int) {
+	for j := range s.bursty {
+		w := s.bursty[j].w
+		for n2 := n2lo; n2 < n2hi; n2++ {
+			w[n2] = scale.Acc{}
+		}
+	}
+	n2 := n2lo
+	if n2 == 0 {
+		s.q[0] = scale.One
+		n2++
+	}
+	for ; n2 < n2hi; n2++ {
+		var acc scale.Acc
+		acc.Init(s.q[n2-1])
+		s.q[n2] = acc.MulNorm(s.inv[n2])
 	}
 }
 

@@ -32,10 +32,14 @@ func SolveConvolution(sw Switch) (*Result, error) {
 	}
 
 	s := sw.MinN()
-	psi := psiTable(sw)
+	psi := psiTableInto(nil, sw)
 
-	// Full convolution across every class.
-	g := convolveAll(sw, phi, -1, s)
+	// Full convolution across every class. The result must survive the
+	// per-class marginal loop below, so it gets its own scratch pair;
+	// the per-class gRest convolutions share a second pair across
+	// classes instead of allocating two vectors per class.
+	var gBuf, restBuf convScratch
+	g := convolveAll(sw, phi, -1, s, &gBuf)
 
 	gn := scale.Zero
 	for occ := 0; occ <= s; occ++ {
@@ -55,6 +59,7 @@ func SolveConvolution(sw Switch) (*Result, error) {
 		res.Occupancy[occ] = psi[occ].Mul(g[occ]).Ratio(gn)
 	}
 
+	var psiSub, marg []scale.Number
 	for r, c := range sw.Classes {
 		// Non-blocking probability from the sub-switch normalization:
 		// G(N - a_r I) reuses the same g(s) (Phi does not depend on N)
@@ -65,7 +70,7 @@ func SolveConvolution(sw Switch) (*Result, error) {
 			continue
 		}
 		sub := sw.Sub(c.A)
-		psiSub := psiTable(sub)
+		psiSub = psiTableInto(psiSub, sub)
 		gSub := scale.Zero
 		for occ := 0; occ <= sub.MinN(); occ++ {
 			gSub = gSub.Add(psiSub[occ].Mul(g[occ]))
@@ -75,8 +80,8 @@ func SolveConvolution(sw Switch) (*Result, error) {
 		// Full class marginal: P(k_r = j) ~ Phi_r(j) sum_s Psi(s)
 		// gRest(s - j a_r), with gRest the convolution excluding class
 		// r; concurrency is its mean.
-		gRest := convolveAll(sw, phi, r, s)
-		marg := make([]scale.Number, sw.maxCount(r)+1)
+		gRest := convolveAll(sw, phi, r, s, &restBuf)
+		marg = grow(marg, sw.maxCount(r)+1)
 		for j := 0; j <= sw.maxCount(r); j++ {
 			acc := scale.Zero
 			for occ := j * c.A; occ <= s; occ++ {
@@ -101,24 +106,36 @@ func SolveConvolution(sw Switch) (*Result, error) {
 	return res, nil
 }
 
+// convScratch is the ping-pong buffer pair one chain of convolveClass
+// folds alternates between, so a convolution of any class count costs
+// at most two vector allocations per solve instead of one per class.
+type convScratch struct{ a, b []scale.Number }
+
 // convolveAll convolves the Phi weight vectors of every class except
-// skip (pass skip = -1 to include all) on the occupancy axis 0..s.
-func convolveAll(sw Switch, phi [][]scale.Number, skip, s int) []scale.Number {
-	g := make([]scale.Number, s+1)
+// skip (pass skip = -1 to include all) on the occupancy axis 0..s. The
+// returned vector aliases one of buf's slices and stays valid until
+// the next convolveAll call with the same buf.
+func convolveAll(sw Switch, phi [][]scale.Number, skip, s int, buf *convScratch) []scale.Number {
+	buf.a = grow(buf.a, s+1)
+	g := buf.a
+	clear(g)
 	g[0] = scale.One
+	buf.b = grow(buf.b, s+1)
+	out := buf.b
 	for r := range sw.Classes {
 		if r == skip {
 			continue
 		}
-		g = convolveClass(g, phi[r], sw.Classes[r].A, s)
+		convolveClass(out, g, phi[r], sw.Classes[r].A, s)
+		g, out = out, g
 	}
 	return g
 }
 
 // convolveClass folds one class's weights w[j] (occupying j*a units)
-// into the running occupancy vector g.
-func convolveClass(g []scale.Number, w []scale.Number, a, s int) []scale.Number {
-	out := make([]scale.Number, s+1)
+// into the running occupancy vector g, writing the result over out.
+func convolveClass(out, g, w []scale.Number, a, s int) {
+	clear(out)
 	for occ := 0; occ <= s; occ++ {
 		if g[occ].IsZero() {
 			continue
@@ -130,5 +147,13 @@ func convolveClass(g []scale.Number, w []scale.Number, a, s int) []scale.Number 
 			out[occ+j*a] = out[occ+j*a].Add(g[occ].Mul(w[j]))
 		}
 	}
-	return out
+}
+
+// grow returns buf resized to n elements, reallocating only when the
+// capacity is insufficient; contents are unspecified.
+func grow(buf []scale.Number, n int) []scale.Number {
+	if cap(buf) < n {
+		return make([]scale.Number, n)
+	}
+	return buf[:n]
 }

@@ -59,7 +59,7 @@ func solveDirectRates(sw Switch, birth, death []RateFunc, method string) (*Resul
 
 	// One walk accumulates both the normalization constant and the
 	// concurrency numerators E_r = sum_k k_r pi(k).
-	psi := psiTable(sw)
+	psi := psiTableInto(nil, sw)
 	g := scale.Zero
 	sums := make([]scale.Number, len(sw.Classes))
 	sw.walkStates(func(k []int) {
@@ -89,14 +89,16 @@ func solveDirectRates(sw Switch, birth, death []RateFunc, method string) (*Resul
 	// Non-blocking: B_r = G(N - a_r I)/G(N). The identity holds for any
 	// state-dependent rates because it only restates the probability
 	// that a_r particular inputs and outputs are simultaneously idle
-	// under the uniform-traffic symmetry.
+	// under the uniform-traffic symmetry. The sub-switch Psi tables
+	// recycle one buffer across classes.
 	for r, c := range sw.Classes {
 		if c.A > sw.MinN() {
 			res.NonBlocking[r] = 0
 			continue
 		}
 		sub := sw.Sub(c.A)
-		gSub := directG(sub, phi)
+		psi = psiTableInto(psi, sub)
+		gSub := directG(sub, psi, phi)
 		res.NonBlocking[r] = gSub.Ratio(g)
 	}
 	res.finish()
@@ -104,12 +106,19 @@ func solveDirectRates(sw Switch, birth, death []RateFunc, method string) (*Resul
 }
 
 // phiTables precomputes Phi_r(k) for k = 0..maxCount(r) in scaled
-// arithmetic.
+// arithmetic. Every class's table is carved from one backing array, so
+// the whole coefficient set costs two allocations regardless of the
+// class count.
 func phiTables(sw Switch, birth, death []RateFunc) ([][]scale.Number, error) {
+	total := 0
+	for r := range sw.Classes {
+		total += sw.maxCount(r) + 1
+	}
+	backing := make([]scale.Number, total)
 	phi := make([][]scale.Number, len(sw.Classes))
 	for r := range sw.Classes {
 		max := sw.maxCount(r)
-		phi[r] = make([]scale.Number, max+1)
+		phi[r], backing = backing[:max+1:max+1], backing[max+1:]
 		phi[r][0] = scale.One
 		for k := 1; k <= max; k++ {
 			b := birth[r](k - 1)
@@ -127,11 +136,10 @@ func phiTables(sw Switch, birth, death []RateFunc) ([][]scale.Number, error) {
 }
 
 // directG sums Psi(k) * prod Phi_r(k_r) over Gamma for the given switch
-// dimensions. The phi tables may extend beyond the switch's occupancy
-// bound (when evaluating a sub-switch); only feasible states are
-// visited.
-func directG(sw Switch, phi [][]scale.Number) scale.Number {
-	psi := psiTable(sw)
+// dimensions, with psi the switch's psiTableInto result. The phi tables
+// may extend beyond the switch's occupancy bound (when evaluating a
+// sub-switch); only feasible states are visited.
+func directG(sw Switch, psi []scale.Number, phi [][]scale.Number) scale.Number {
 	g := scale.Zero
 	sw.walkStates(func(k []int) {
 		g = g.Add(stateWeightPsi(sw, psi, phi, k))
@@ -147,10 +155,11 @@ func stateWeightPsi(sw Switch, psi []scale.Number, phi [][]scale.Number, k []int
 	return term
 }
 
-// psiTable returns Psi indexed by total occupancy s:
+// psiTableInto fills buf (grown only when too small; pass nil for a
+// fresh table) with Psi indexed by total occupancy s:
 // Psi(s) = P(N1, s) * P(N2, s).
-func psiTable(sw Switch) []scale.Number {
-	psi := make([]scale.Number, sw.MinN()+1)
+func psiTableInto(buf []scale.Number, sw Switch) []scale.Number {
+	psi := grow(buf, sw.MinN()+1)
 	for s := 0; s <= sw.MinN(); s++ {
 		psi[s] = scale.FromLog(combin.LogPerm(sw.N1, s) + combin.LogPerm(sw.N2, s))
 	}

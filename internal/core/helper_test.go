@@ -1,0 +1,7 @@
+package core
+
+// noOpts adapts the variadic-Options solver entry points to the plain
+// func(Switch) shape the cross-validation test tables use.
+func noOpts(f func(Switch, ...Options) (*Result, error)) func(Switch) (*Result, error) {
+	return func(sw Switch) (*Result, error) { return f(sw) }
+}

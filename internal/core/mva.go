@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"xbar/internal/combin"
+	"xbar/internal/parallel"
 )
 
 // MVASolver runs the paper's Algorithm 2, the mean-value style
@@ -34,6 +35,7 @@ import (
 // Algorithm 1 — see TestMVAMatchesAlgorithm1.)
 type MVASolver struct {
 	sw     Switch
+	opt    Options
 	f1, f2 []float64
 	// d[j] is the D grid for the j-th bursty class.
 	d       [][]float64
@@ -55,10 +57,11 @@ type mvaTerm struct {
 	poisson bool
 }
 
-// NewMVASolver validates the switch and fills the ratio lattices.
-func NewMVASolver(sw Switch) (*MVASolver, error) {
+// NewMVASolver validates the switch and fills the ratio lattices. An
+// optional Options argument selects the fill schedule (see Parallel).
+func NewMVASolver(sw Switch, opts ...Options) (*MVASolver, error) {
 	s := &MVASolver{}
-	if err := s.Reuse(sw); err != nil {
+	if err := s.Reuse(sw, opts...); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -66,10 +69,14 @@ func NewMVASolver(sw Switch) (*MVASolver, error) {
 
 // Reuse re-points the solver at sw and refills the ratio lattices,
 // recycling the F and D buffers whenever their capacity allows — the
-// allocation-free path for repeated solves of same-size systems.
-func (s *MVASolver) Reuse(sw Switch) error {
+// allocation-free path for repeated solves of same-size systems. An
+// optional Options argument replaces the solver's fill schedule.
+func (s *MVASolver) Reuse(sw Switch, opts ...Options) error {
 	if err := sw.Validate(); err != nil {
 		return err
+	}
+	if len(opts) > 0 {
+		s.opt = opts[0]
 	}
 	s.sw = sw
 	size := (sw.N1 + 1) * (sw.N2 + 1)
@@ -106,8 +113,9 @@ func (s *MVASolver) Reuse(sw Switch) error {
 }
 
 // SolveMVA computes the performance measures for sw with Algorithm 2.
-func SolveMVA(sw Switch) (*Result, error) {
-	s, err := NewMVASolver(sw)
+// An optional Options argument selects the fill schedule.
+func SolveMVA(sw Switch, opts ...Options) (*Result, error) {
+	s, err := NewMVASolver(sw, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -162,12 +170,32 @@ func (s *MVASolver) dAt(j, n1, n2 int) float64 {
 	return s.d[j][s.idx(n1, n2)]
 }
 
+// fill runs the Eq. 12-20 recursions over the whole lattice:
+// sequentially, or as a tiled wavefront when the resolved Options ask
+// for it. Dependencies at a cell — the F staircases from (n - 1_i)
+// down to (n - a_r I) and the D values at (n - a_r I) — all live at
+// strictly smaller n1 + n2 except the same-cell F factors of the D
+// update, which fillBlock computes first within the cell; anti-
+// diagonal tile order is therefore a topological order and the
+// parallel fill is bit-identical to the sequential one.
 func (s *MVASolver) fill() {
+	rows, cols := s.sw.N1+1, s.sw.N2+1
+	w, tile := s.opt.plan(rows, cols)
+	if w <= 1 {
+		s.fillBlock(0, rows, 0, cols)
+		return
+	}
+	parallel.Wavefront(w, rows, cols, tile, s.fillBlock)
+}
+
+// fillBlock runs the recursions over the half-open cell block
+// [n1lo, n1hi) x [n2lo, n2hi) in row-major order.
+func (s *MVASolver) fillBlock(n1lo, n1hi, n2lo, n2hi int) {
 	sw := s.sw
 	n2w := sw.N2 + 1
-	for n1 := 0; n1 <= sw.N1; n1++ {
+	for n1 := n1lo; n1 < n1hi; n1++ {
 		base := n1 * n2w
-		for n2 := 0; n2 <= sw.N2; n2++ {
+		for n2 := n2lo; n2 < n2hi; n2++ {
 			i := base + n2
 			// F boundary and interior values.
 			switch {

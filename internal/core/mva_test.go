@@ -180,7 +180,7 @@ func TestManyClasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, fn := range []func(Switch) (*Result, error){Solve, SolveMVA, SolveConvolution} {
+	for _, fn := range []func(Switch) (*Result, error){noOpts(Solve), noOpts(SolveMVA), SolveConvolution} {
 		got, err := fn(sw)
 		if err != nil {
 			t.Fatal(err)
@@ -201,11 +201,11 @@ func TestManyClasses(t *testing.T) {
 // (the scan made fill O(N^2 R^2); the map restores O(N^2 R)).
 func TestBurstyIndexMap(t *testing.T) {
 	sw := Switch{N1: 4, N2: 4, Classes: []Class{
-		{A: 1, Alpha: 0.1, Mu: 1},               // Poisson
-		{A: 1, Alpha: 0.05, Beta: 0.02, Mu: 1},  // bursty slot 0
-		{A: 2, Alpha: 0.01, Mu: 1},              // Poisson
+		{A: 1, Alpha: 0.1, Mu: 1},                // Poisson
+		{A: 1, Alpha: 0.05, Beta: 0.02, Mu: 1},   // bursty slot 0
+		{A: 2, Alpha: 0.01, Mu: 1},               // Poisson
 		{A: 2, Alpha: 0.01, Beta: -0.001, Mu: 1}, // bursty slot 1
-		{A: 1, Alpha: 0.02, Beta: 0.004, Mu: 1}, // bursty slot 2
+		{A: 1, Alpha: 0.02, Beta: 0.004, Mu: 1},  // bursty slot 2
 	}}
 	s, err := NewMVASolver(sw)
 	if err != nil {

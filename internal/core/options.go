@@ -1,0 +1,68 @@
+package core
+
+import "xbar/internal/parallel"
+
+// Options configures how the solvers schedule their lattice fills.
+// The zero value is the auto heuristic: sequential below the parallel
+// cutoff, wavefront-parallel on GOMAXPROCS workers above it. Every
+// schedule computes each cell with the identical instruction sequence
+// reading only finalized cells, so results are bit-identical across
+// worker counts and tile sizes (TestParallelFillBitIdentical).
+type Options struct {
+	// Workers selects the fill schedule: <= 0 auto (sequential below
+	// the cutoff, GOMAXPROCS workers above), 1 always sequential,
+	// n > 1 wavefront-parallel on n workers regardless of size.
+	Workers int
+	// Tile is the tile edge length, in lattice cells, of the wavefront
+	// schedule; <= 0 picks the auto heuristic. Ignored when the
+	// schedule resolves to sequential.
+	Tile int
+}
+
+// Parallel returns the Options selecting a wavefront-parallel fill
+// with the given worker count and tile edge (0 means auto for either).
+func Parallel(workers, tile int) Options { return Options{Workers: workers, Tile: tile} }
+
+// parallelCutoff is the lattice cell count below which the auto
+// heuristic stays sequential: per-diagonal barriers cost microseconds,
+// so lattices that fill in tens of microseconds (N ~ 64 and below)
+// are better off on one goroutine. See docs/PERFORMANCE.md for the
+// measured crossover.
+const parallelCutoff = 128 * 128
+
+// plan resolves the schedule for a rows x cols lattice: the worker
+// count (1 meaning sequential) and the tile edge.
+func (o Options) plan(rows, cols int) (workers, tile int) {
+	w := o.Workers
+	switch {
+	case w == 1:
+		return 1, 0
+	case w <= 0:
+		if rows*cols < parallelCutoff {
+			return 1, 0
+		}
+		w = parallel.Workers(0)
+		if w <= 1 {
+			return 1, 0
+		}
+	}
+	t := o.Tile
+	if t <= 0 {
+		// Size tiles for the parallelism the host can actually deliver:
+		// workers beyond GOMAXPROCS never run concurrently, they only
+		// add a wakeup per tile wave, so an oversubscribed schedule gets
+		// coarser tiles (fewer, larger waves) rather than more of them.
+		t = autoTile(rows, cols, min(w, parallel.Workers(0)))
+	}
+	return w, t
+}
+
+// autoTile picks a tile edge that keeps every worker busy on the long
+// anti-diagonals (at least ~2 tiles per worker per diagonal) while
+// keeping tiles large enough to amortize the barrier and stay
+// cache-resident: a 64-cell edge is 64 KiB of Q lattice (16-byte
+// scale.Number cells) per tile row.
+func autoTile(rows, cols, workers int) int {
+	t := min(rows, cols) / (2 * workers)
+	return max(16, min(t, 256))
+}

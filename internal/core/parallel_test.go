@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"slices"
+	"testing"
+)
+
+// The wavefront-parallel fill must be BIT-identical to the sequential
+// fill — not merely within tolerance — because every cell is computed
+// by the identical instruction sequence reading only finalized cells;
+// only the schedule changes. These tests pin that guarantee across
+// worker counts, tile sizes, traffic mixes (Poisson-only, bursty-only,
+// mixed multirate) and rectangular N1 != N2 switches, for both
+// Algorithm 1 (Q and V lattices) and Algorithm 2 (F and D lattices).
+
+var parallelFillCases = []struct {
+	name    string
+	classes []Class
+}{
+	{"poisson", []Class{
+		{Name: "p1", A: 1, Alpha: 0.04, Mu: 1},
+		{Name: "p2", A: 2, Alpha: 0.015, Mu: 0.5},
+	}},
+	{"bursty", []Class{
+		{Name: "b1", A: 1, Alpha: 0.03, Beta: 0.012, Mu: 1},
+		{Name: "b2", A: 2, Alpha: 0.01, Beta: 0.004, Mu: 0.8},
+	}},
+	{"mixed-multirate", []Class{
+		{Name: "p1", A: 1, Alpha: 0.05, Mu: 1},
+		{Name: "b2", A: 2, Alpha: 0.012, Beta: 0.006, Mu: 1},
+		{Name: "b3", A: 3, Alpha: 0.004, Beta: 0.001, Mu: 0.7},
+		{Name: "p2", A: 2, Alpha: 0.008, Mu: 1.3},
+	}},
+}
+
+var parallelFillShapes = []struct{ n1, n2 int }{
+	{40, 40},   // square, crosses tile boundaries at every tested tile
+	{24, 41},   // rectangular, N1 < N2
+	{41, 24},   // rectangular, N1 > N2
+	{3, 37},    // degenerate: thinner than most tiles
+	{129, 129}, // above the auto-heuristic cutoff footprint at tile 64
+}
+
+func parallelFillGrid(n1, n2 int) []Options {
+	full := max(n1, n2) + 1
+	var opts []Options
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, tile := range []int{1, 8, 64, full} {
+			opts = append(opts, Parallel(w, tile))
+		}
+	}
+	return opts
+}
+
+// maxprocs raises GOMAXPROCS to at least n for the duration of the
+// test. parallel.Wavefront clamps its pool to GOMAXPROCS, so without
+// this the multi-worker schedules would silently degenerate to the
+// sequential path on single-CPU hosts and prove nothing.
+func maxprocs(t *testing.T, n int) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < n {
+		runtime.GOMAXPROCS(n)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+func TestParallelFillBitIdenticalAlg1(t *testing.T) {
+	maxprocs(t, 8)
+	for _, tc := range parallelFillCases {
+		for _, sh := range parallelFillShapes {
+			sw := Switch{N1: sh.n1, N2: sh.n2, Classes: tc.classes}
+			ref, err := NewSolver(sw, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRes := ref.Result()
+			for _, opt := range parallelFillGrid(sh.n1, sh.n2) {
+				opt := opt
+				t.Run(fmt.Sprintf("%s/%dx%d/w%d_t%d", tc.name, sh.n1, sh.n2, opt.Workers, opt.Tile), func(t *testing.T) {
+					par, err := NewSolver(sw, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !slices.Equal(par.q, ref.q) {
+						t.Fatalf("Q lattice differs from sequential fill")
+					}
+					for j := range par.bursty {
+						if !slices.Equal(par.bursty[j].w, ref.bursty[j].w) {
+							t.Fatalf("W lattice of bursty class %d differs from sequential fill", j)
+						}
+					}
+					if got := par.Result(); !reflect.DeepEqual(got, refRes) {
+						t.Fatalf("Result differs from sequential fill:\n got %+v\nwant %+v", got, refRes)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestParallelFillBitIdenticalMVA(t *testing.T) {
+	maxprocs(t, 8)
+	for _, tc := range parallelFillCases {
+		for _, sh := range parallelFillShapes {
+			sw := Switch{N1: sh.n1, N2: sh.n2, Classes: tc.classes}
+			ref, err := NewMVASolver(sw, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRes := ref.Result()
+			for _, opt := range parallelFillGrid(sh.n1, sh.n2) {
+				opt := opt
+				t.Run(fmt.Sprintf("%s/%dx%d/w%d_t%d", tc.name, sh.n1, sh.n2, opt.Workers, opt.Tile), func(t *testing.T) {
+					par, err := NewMVASolver(sw, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !slices.Equal(par.f1, ref.f1) || !slices.Equal(par.f2, ref.f2) {
+						t.Fatalf("F lattices differ from sequential fill")
+					}
+					for j := range par.d {
+						if !slices.Equal(par.d[j], ref.d[j]) {
+							t.Fatalf("D lattice of bursty class %d differs from sequential fill", j)
+						}
+					}
+					if got := par.Result(); !reflect.DeepEqual(got, refRes) {
+						t.Fatalf("Result differs from sequential fill:\n got %+v\nwant %+v", got, refRes)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelFillReuse checks the schedule survives Reuse: a recycled
+// parallel solver refilled for a different switch stays bit-identical
+// to a fresh sequential solve, and an explicit Options argument to
+// Reuse replaces the schedule.
+func TestParallelFillReuse(t *testing.T) {
+	maxprocs(t, 8)
+	classes := parallelFillCases[2].classes
+	s, err := NewSolver(Switch{N1: 40, N2: 28, Classes: classes}, Parallel(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range []struct{ n1, n2 int }{{28, 40}, {40, 40}, {9, 9}} {
+		sw := Switch{N1: sh.n1, N2: sh.n2, Classes: classes}
+		if err := s.Reuse(sw); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewSolver(sw, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(s.q, ref.q) {
+			t.Fatalf("Reuse(%dx%d) parallel lattice differs from sequential", sh.n1, sh.n2)
+		}
+	}
+	// Replacing the schedule through Reuse must leave results unchanged.
+	sw := Switch{N1: 33, N2: 33, Classes: classes}
+	if err := s.Reuse(sw, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	seq := append([]Result(nil), *s.Result())
+	if err := s.Reuse(sw, Parallel(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s.Result(), seq[0]) {
+		t.Fatal("Reuse with a new schedule changed the Result")
+	}
+}
+
+// TestAutoHeuristic pins the auto plan: sequential below the cutoff
+// (1 worker), parallel above it, and explicit worker counts honored
+// regardless of size.
+func TestAutoHeuristic(t *testing.T) {
+	if w, _ := (Options{}).plan(17, 17); w != 1 {
+		t.Errorf("auto plan at 17x17 chose %d workers, want sequential", w)
+	}
+	if w, _ := (Options{Workers: 7}).plan(5, 5); w != 7 {
+		t.Errorf("explicit 7 workers at 5x5 resolved to %d", w)
+	}
+	if w, _ := (Options{Workers: 1}).plan(1000, 1000); w != 1 {
+		t.Errorf("explicit sequential at 1000x1000 resolved to %d workers", w)
+	}
+	w, tile := (Options{}).plan(257, 257)
+	if w < 1 {
+		t.Errorf("auto plan at 257x257 resolved to %d workers", w)
+	}
+	if w > 1 && tile < 1 {
+		t.Errorf("auto plan at 257x257 resolved tile %d", tile)
+	}
+	if _, tile := (Options{Workers: 4, Tile: 9}).plan(257, 257); tile != 9 {
+		t.Errorf("explicit tile 9 resolved to %d", tile)
+	}
+}

@@ -100,9 +100,10 @@ type SweepSolver struct {
 }
 
 // NewSweepSolver validates sw, fills the Algorithm 1 lattice once, and
-// returns the memoizing read layer.
-func NewSweepSolver(sw Switch) (*SweepSolver, error) {
-	solver, err := NewSolver(sw)
+// returns the memoizing read layer. An optional Options argument
+// selects the fill schedule (see Parallel).
+func NewSweepSolver(sw Switch, opts ...Options) (*SweepSolver, error) {
+	solver, err := NewSolver(sw, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -118,9 +119,10 @@ type MVASweepSolver struct {
 }
 
 // NewMVASweepSolver validates sw, fills the Algorithm 2 ratio lattices
-// once, and returns the memoizing read layer.
-func NewMVASweepSolver(sw Switch) (*MVASweepSolver, error) {
-	solver, err := NewMVASolver(sw)
+// once, and returns the memoizing read layer. An optional Options
+// argument selects the fill schedule (see Parallel).
+func NewMVASweepSolver(sw Switch, opts ...Options) (*MVASweepSolver, error) {
+	solver, err := NewMVASolver(sw, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -23,8 +23,8 @@ import (
 	"xbar/internal/link"
 	"xbar/internal/minnet"
 	"xbar/internal/network"
-	"xbar/internal/parallel"
 	"xbar/internal/overflow"
+	"xbar/internal/parallel"
 	"xbar/internal/report"
 	"xbar/internal/retrial"
 	"xbar/internal/sim"

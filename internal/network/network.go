@@ -128,8 +128,10 @@ type FPResult struct {
 
 // FixedPoint solves the reduced-load approximation by successive
 // substitution. tol bounds the largest per-switch blocking change at
-// convergence; maxIter guards against oscillation.
-func FixedPoint(n Network, tol float64, maxIter int) (*FPResult, error) {
+// convergence; maxIter guards against oscillation. An optional
+// core.Options configures the per-switch lattice fills (e.g.
+// core.Parallel for the wavefront schedule on large switches).
+func FixedPoint(n Network, tol float64, maxIter int, opts ...core.Options) (*FPResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,7 +177,7 @@ func FixedPoint(n Network, tol float64, maxIter int) (*FPResult, error) {
 		// whole fixed point allocates its lattices once.
 		worst := 0.0
 		for s, d := range n.Switches {
-			newB, err := switchBlocking(&scratch, d, classLoad[s])
+			newB, err := switchBlocking(&scratch, d, classLoad[s], opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -221,7 +223,7 @@ func FixedPoint(n Network, tol float64, maxIter int) (*FPResult, error) {
 // fill's float rounding, breaking run-to-run determinism. The solve
 // goes through the caller's scratch solver (lattices recycled across
 // the whole fixed point).
-func switchBlocking(scratch *core.Solver, d Dim, classErlangs map[int]float64) (map[int]float64, error) {
+func switchBlocking(scratch *core.Solver, d Dim, classErlangs map[int]float64, opts ...core.Options) (map[int]float64, error) {
 	out := make(map[int]float64, len(classErlangs))
 	sw := core.Switch{N1: d.N1, N2: d.N2}
 	bandwidths := make([]int, 0, len(classErlangs))
@@ -243,7 +245,7 @@ func switchBlocking(scratch *core.Solver, d Dim, classErlangs map[int]float64) (
 	if len(sw.Classes) == 0 {
 		return out, nil
 	}
-	if err := scratch.Reuse(sw); err != nil {
+	if err := scratch.Reuse(sw, opts...); err != nil {
 		return nil, err
 	}
 	res := scratch.Result()

@@ -66,6 +66,119 @@ func ForEach[T any](workers int, items []T, f func(i int, item T) error) error {
 	return errors.Join(errs...)
 }
 
+// Wavefront runs a tiled fill of a rows x cols lattice whose cells
+// depend only on cells with strictly smaller coordinates in both-or-one
+// dimension — i.e. cell (r, c) may read any (r', c') with r' <= r,
+// c' <= c, (r', c') != (r, c). That covers the Eq. 10 / Eq. 12-20
+// recursions of internal/core: the 1_i neighbor and every (a, a)
+// diagonal displacement live at strictly smaller r+c.
+//
+// The lattice is partitioned into tile x tile blocks and the blocks are
+// executed anti-diagonal by anti-diagonal: all dependencies of a block
+// on diagonal d (block row + block column = d) live in blocks on
+// diagonals < d, so the blocks of one diagonal are independent and run
+// concurrently on at most min(Workers(workers), GOMAXPROCS) goroutines
+// — worker counts beyond the host's parallelism are clamped, since the
+// extra goroutines could never run concurrently — with a barrier
+// between diagonals. fill is called with the half-open cell ranges
+// [r0, r1) x [c0, c1) of one block and must process its cells in an
+// order consistent with the intra-block dependencies (row-major works
+// for the dependency shape above).
+//
+// The caller's goroutine participates as a worker, so workers == 1 (or
+// a single block) degenerates to a plain sequential sweep in diagonal
+// order with no goroutines spawned. Every block is executed exactly
+// once regardless of worker count; with a fill whose per-cell
+// computation does not depend on scheduling, results are bit-identical
+// for any worker count and tile size.
+func Wavefront(workers, rows, cols, tile int, fill func(r0, r1, c0, c1 int)) {
+	if rows <= 0 || cols <= 0 {
+		return
+	}
+	if tile <= 0 {
+		tile = 1
+	}
+	tr := (rows + tile - 1) / tile
+	tc := (cols + tile - 1) / tile
+	w := Workers(workers)
+	if p := runtime.GOMAXPROCS(0); w > p {
+		// Helpers beyond GOMAXPROCS can never run concurrently — they
+		// only add a scheduler wakeup per diagonal. The block schedule
+		// (and, by the determinism contract, the result) is identical
+		// either way, so clamp to the parallelism the host delivers.
+		w = p
+	}
+	if m := min(tr, tc); w > m {
+		w = m // a diagonal never has more than min(tr, tc) blocks
+	}
+	run := func(t1, t2 int) {
+		r0 := t1 * tile
+		c0 := t2 * tile
+		fill(r0, min(r0+tile, rows), c0, min(c0+tile, cols))
+	}
+	if w <= 1 {
+		for d := 0; d < tr+tc-1; d++ {
+			for t1 := max(0, d-tc+1); t1 <= min(tr-1, d); t1++ {
+				run(t1, d-t1)
+			}
+		}
+		return
+	}
+	// Persistent helper pool: w-1 spawned workers plus the caller. Per
+	// diagonal the coordinator publishes the block range, wakes every
+	// helper (the channel send is the happens-before edge for lo/n and
+	// for all cells written on earlier diagonals), claims blocks itself,
+	// and collects one done token per helper — the barrier that makes
+	// diagonal d+1's reads race-free.
+	var (
+		next  atomic.Int64
+		lo, n int
+		diag  int
+		start = make(chan struct{})
+		done  = make(chan struct{})
+	)
+	claim := func() {
+		for {
+			k := int(next.Add(1)) - 1
+			if k >= n {
+				return
+			}
+			t1 := lo + k
+			run(t1, diag-t1)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w-1; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range start {
+				claim()
+				done <- struct{}{}
+			}
+		}()
+	}
+	for d := 0; d < tr+tc-1; d++ {
+		lo = max(0, d-tc+1)
+		n = min(tr-1, d) - lo + 1
+		diag = d
+		next.Store(0)
+		helpers := w - 1
+		if n < w {
+			helpers = n - 1 // never wake more helpers than blocks
+		}
+		for g := 0; g < helpers; g++ {
+			start <- struct{}{}
+		}
+		claim()
+		for g := 0; g < helpers; g++ {
+			<-done
+		}
+	}
+	close(start)
+	wg.Wait()
+}
+
 // Map runs f over items with at most Workers(workers) goroutines and
 // returns the results in input order: out[i] is f(i, items[i]). If any
 // call fails, Map returns nil and the joined errors (every failure, in

@@ -125,3 +125,123 @@ func TestWorkersDefault(t *testing.T) {
 		t.Errorf("Workers(5) = %d", got)
 	}
 }
+
+// maxprocs raises GOMAXPROCS to at least n for the duration of the
+// test. Wavefront clamps its pool to GOMAXPROCS, so without this the
+// multi-worker schedules would silently degenerate to the sequential
+// path on single-CPU hosts and the helper pool would go untested.
+func maxprocs(t *testing.T, n int) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < n {
+		runtime.GOMAXPROCS(n)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// TestWavefrontCoversEveryCell checks each cell is filled exactly once
+// for a grid of worker counts, tile sizes and lattice shapes, including
+// tiles larger than the lattice and degenerate 1-wide lattices.
+func TestWavefrontCoversEveryCell(t *testing.T) {
+	maxprocs(t, 8)
+	shapes := []struct{ rows, cols int }{
+		{1, 1}, {1, 17}, {17, 1}, {7, 7}, {13, 29}, {29, 13}, {40, 40},
+	}
+	for _, sh := range shapes {
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, tile := range []int{1, 3, 8, 64} {
+				counts := make([]atomic.Int32, sh.rows*sh.cols)
+				Wavefront(workers, sh.rows, sh.cols, tile, func(r0, r1, c0, c1 int) {
+					if r0 < 0 || c0 < 0 || r1 > sh.rows || c1 > sh.cols || r0 >= r1 || c0 >= c1 {
+						t.Errorf("block [%d,%d)x[%d,%d) outside %dx%d", r0, r1, c0, c1, sh.rows, sh.cols)
+						return
+					}
+					for r := r0; r < r1; r++ {
+						for c := c0; c < c1; c++ {
+							counts[r*sh.cols+c].Add(1)
+						}
+					}
+				})
+				for i := range counts {
+					if n := counts[i].Load(); n != 1 {
+						t.Fatalf("shape %dx%d workers=%d tile=%d: cell %d filled %d times",
+							sh.rows, sh.cols, workers, tile, i, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontDependencyOrder asserts the scheduler's contract: when a
+// cell is filled, every cell at (<= r, <= c) other than itself is
+// already filled. The done flags are atomic so the race detector also
+// vets the barrier's happens-before edges.
+func TestWavefrontDependencyOrder(t *testing.T) {
+	maxprocs(t, 8)
+	const rows, cols = 33, 21
+	for _, workers := range []int{2, 4, 8} {
+		for _, tile := range []int{1, 4, 7, 16} {
+			done := make([]atomic.Bool, rows*cols)
+			Wavefront(workers, rows, cols, tile, func(r0, r1, c0, c1 int) {
+				for r := r0; r < r1; r++ {
+					for c := c0; c < c1; c++ {
+						// Spot-check the dependency frontier: the 1_i
+						// neighbors and a deep (a, a) displacement.
+						for _, d := range [][2]int{{1, 0}, {0, 1}, {1, 1}, {5, 5}, {r, c}} {
+							pr, pc := r-d[0], c-d[1]
+							if pr < 0 || pc < 0 || (pr == r && pc == c) {
+								continue
+							}
+							if !done[pr*cols+pc].Load() {
+								t.Errorf("workers=%d tile=%d: cell (%d,%d) filled before dependency (%d,%d)",
+									workers, tile, r, c, pr, pc)
+							}
+						}
+						done[r*cols+c].Store(true)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWavefrontDeterministicResult fills an integer recursion lattice
+// (value = 1 + max of the three predecessors) under every schedule and
+// compares against the sequential fill.
+func TestWavefrontDeterministicResult(t *testing.T) {
+	maxprocs(t, 8)
+	const rows, cols = 31, 47
+	fillInto := func(grid []int64) func(r0, r1, c0, c1 int) {
+		at := func(r, c int) int64 {
+			if r < 0 || c < 0 {
+				return 0
+			}
+			return grid[r*cols+c]
+		}
+		return func(r0, r1, c0, c1 int) {
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					grid[r*cols+c] = 1 + max(at(r-1, c), at(r, c-1), 3*at(r-2, c-3))
+				}
+			}
+		}
+	}
+	want := make([]int64, rows*cols)
+	Wavefront(1, rows, cols, cols, fillInto(want))
+	for _, workers := range []int{2, 3, 8} {
+		for _, tile := range []int{1, 5, 13, 64} {
+			got := make([]int64, rows*cols)
+			Wavefront(workers, rows, cols, tile, fillInto(got))
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d tile=%d: cell %d = %d, want %d", workers, tile, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWavefrontEmpty(t *testing.T) {
+	Wavefront(4, 0, 10, 8, func(int, int, int, int) { t.Error("fill ran on empty lattice") })
+	Wavefront(4, 10, 0, 8, func(int, int, int, int) { t.Error("fill ran on empty lattice") })
+}

@@ -40,19 +40,22 @@ type Analysis struct {
 	// the first gradient call and recycled afterwards.
 	scratch        *core.Solver
 	scratchClasses []core.Class
+	opts           []core.Options
 }
 
 // New builds an Analysis. weights must contain one revenue rate per
-// traffic class.
-func New(sw core.Switch, weights []float64) (*Analysis, error) {
+// traffic class. An optional core.Options configures every lattice
+// fill the analysis runs — the sweep solve and the perturbed gradient
+// re-solves alike (e.g. core.Parallel for the wavefront schedule).
+func New(sw core.Switch, weights []float64, opts ...core.Options) (*Analysis, error) {
 	if len(weights) != len(sw.Classes) {
 		return nil, fmt.Errorf("revenue: %d weights for %d classes", len(weights), len(sw.Classes))
 	}
-	sweep, err := core.NewSweepSolver(sw)
+	sweep, err := core.NewSweepSolver(sw, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{sw: sw, weights: weights, sweep: sweep}, nil
+	return &Analysis{sw: sw, weights: weights, sweep: sweep, opts: opts}, nil
 }
 
 // Switch returns the analyzed switch.
@@ -139,7 +142,7 @@ func (a *Analysis) perturbedW(r int, dAlpha, dBeta float64) float64 {
 	if a.scratch == nil {
 		a.scratch = &core.Solver{}
 	}
-	if err := a.scratch.Reuse(sw); err != nil {
+	if err := a.scratch.Reuse(sw, a.opts...); err != nil {
 		// A perturbation that leaves the valid parameter region (e.g.
 		// a Bernoulli population constraint) indicates the step was
 		// too large for this model; surface it loudly.

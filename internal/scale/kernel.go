@@ -1,0 +1,56 @@
+package scale
+
+import "math"
+
+// This file holds the fused lattice-cell kernels for internal/core's
+// Algorithm 1 fill. The generic fill accumulates a cell as a sequence
+// of Acc wrapper calls, each one addRaw call deep; for the workload
+// shape every figure of the paper uses — exactly one Poisson and one
+// bursty class — the whole cell collapses into a single out-of-line
+// call here, with the alignment core (rawAdd) inlined at each use.
+// That removes three call boundaries per lattice cell, which is the
+// dominant remaining cost of the N = 256 fill.
+
+// QCellPB advances one interior Eq. 10 cell for the one-Poisson-plus-
+// one-bursty class mix. It returns the normalized Q value of the cell
+// and the cell's raw W working value (the coefficient-scaled Eq. 9
+// V term), and is exactly the sequence
+//
+//	var wa Acc
+//	wa.InitMul(qB, cb)
+//	wa.AddMulAcc(w, bm)
+//	var acc Acc
+//	acc.Init(qUp)
+//	acc.AddMul(qP, cp)
+//	acc.AddAcc(wa)
+//	return acc.MulNorm(inv), wa
+//
+// fused into one call; TestQCellPB pins bit-identity against that
+// unfused sequence. Preconditions: qUp, qP, qB, cp, cb and bm are
+// non-zero (interior on-lattice Q is strictly positive and class
+// coefficients are validated positive); w may hold any working value,
+// including zero.
+func QCellPB(qUp, qP, qB Number, w Acc, cp, cb, bm Number, inv float64) (Number, Acc) {
+	// wa = cb*qB + bm*w, the W recursion step.
+	waf := qB.frac * cb.frac
+	wae := qB.exp + cb.exp
+	if w.frac != 0 { //lint:allow floatcmp frac == 0 is the canonical exact representation of Zero
+		waf, wae = rawAdd(waf, wae, w.frac*bm.frac, w.exp+bm.exp)
+	}
+	// acc = qUp + cp*qP + wa, then normalize once against 1/n1. The
+	// normalization is normFrac's hot path spelled out in place —
+	// normFrac itself is beyond the inlining budget here and a second
+	// call per cell would give back much of the fusion's win.
+	af, ae := rawAdd(qUp.frac, qUp.exp, qP.frac*cp.frac, qP.exp+cp.exp)
+	af, ae = rawAdd(af, ae, waf, wae)
+	af *= inv
+	bits := math.Float64bits(af)
+	be := int(bits >> 52 & 0x7ff)
+	if uint(be-1) >= 0x7fe {
+		return normSlow(af, ae), Acc{frac: waf, exp: wae}
+	}
+	return Number{
+		frac: math.Float64frombits(bits&^(uint64(0x7ff)<<52) | uint64(1022)<<52),
+		exp:  ae + be - 1022,
+	}, Acc{frac: waf, exp: wae}
+}

@@ -1,0 +1,86 @@
+package scale
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQCellPB pins the fused cell kernel to the unfused Acc wrapper
+// sequence it documents, bit for bit, across sign mixes, wide
+// exponent spreads (including past the 1075-order absorption cutoff)
+// and zero W cells.
+func TestQCellPB(t *testing.T) {
+	nums := []Number{
+		FromFloat64(0.75),
+		FromFloat64(1.5e-8),
+		FromFloat64(3.25e9),
+		FromLog(-700), // far below float64 range
+		FromLog(650),
+		FromFloat64(0.5000000001),
+	}
+	ws := []Acc{
+		{}, // zero W cell
+		{frac: 0.625, exp: 12},
+		{frac: 1.75, exp: -2000}, // unnormalized, deep underflow range
+		{frac: 900.5, exp: 1800}, // drifted working fraction
+		{frac: -0.8125, exp: 40}, // sign flip
+		{frac: 0.5, exp: 0},
+	}
+	invs := []float64{1, 0.5, 1.0 / 3, 1.0 / 255}
+	for _, qUp := range nums {
+		for _, qP := range nums {
+			for _, qB := range nums {
+				for _, w := range ws {
+					for _, inv := range invs {
+						cp := FromFloat64(0.037)
+						cb := FromFloat64(0.021)
+						bm := FromFloat64(0.42)
+
+						var wa Acc
+						wa.InitMul(qB, cb)
+						wa.AddMulAcc(w, bm)
+						var acc Acc
+						acc.Init(qUp)
+						acc.AddMul(qP, cp)
+						acc.AddAcc(wa)
+						wantQ := acc.MulNorm(inv)
+
+						gotQ, gotW := QCellPB(qUp, qP, qB, w, cp, cb, bm, inv)
+						if gotQ != wantQ {
+							t.Fatalf("QCellPB q = %#v, want %#v (qUp=%v qP=%v qB=%v w=%+v inv=%v)",
+								gotQ, wantQ, qUp, qP, qB, w, inv)
+						}
+						if gotW != wa {
+							t.Fatalf("QCellPB w = %+v, want %+v (qB=%v w=%+v)", gotW, wa, qB, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQCellPBRecursionStep checks the kernel against a directly
+// computed float64 cell in the range where no scaling is needed:
+// Q = (qUp + cp*qP + cb*qB + bm*w) / n with W = cb*qB + bm*w.
+func TestQCellPBRecursionStep(t *testing.T) {
+	qUp, qP, qB := 0.375, 0.0625, 0.01171875
+	wVal := 0.0078125
+	cp, cb, bm := 0.25, 0.125, 0.5
+	const n = 3.0
+
+	var w Acc
+	w.Init(FromFloat64(wVal))
+	gotQ, gotW := QCellPB(
+		FromFloat64(qUp), FromFloat64(qP), FromFloat64(qB), w,
+		FromFloat64(cp), FromFloat64(cb), FromFloat64(bm), 1/n)
+
+	wantW := cb*qB + bm*wVal
+	wantQ := (qUp + cp*qP + wantW) / n
+	if got := gotW.Norm().Float64(); math.Abs(got-wantW) > 1e-15 {
+		t.Fatalf("W = %g, want %g", got, wantW)
+	}
+	if got := gotQ.Float64(); math.Abs(got-wantQ) > 1e-15 {
+		t.Fatalf("Q = %g, want %g", got, wantQ)
+	}
+}

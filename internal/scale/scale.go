@@ -80,6 +80,35 @@ func (n Number) norm() Number {
 	}
 }
 
+// normFrac builds a normalized Number from a working fraction and
+// exponent. It is norm() with the common case — a normal, finite
+// fraction — first and small enough for the compiler to inline into
+// the scale-arithmetic hot paths (Acc.MulNorm, Number.AddMul); zero,
+// subnormal and non-finite fractions defer to normSlow. The biased
+// exponent test folds the two boundary checks into one unsigned
+// compare: be-1 wraps negative only for be == 0, so the normal band
+// 1..2046 is a single range test.
+func normFrac(frac float64, exp int) Number {
+	bits := math.Float64bits(frac)
+	be := int(bits >> 52 & 0x7ff)
+	if uint(be-1) >= 0x7fe {
+		return normSlow(frac, exp)
+	}
+	return Number{
+		frac: math.Float64frombits(bits&^(uint64(0x7ff)<<52) | uint64(1022)<<52),
+		exp:  exp + be - 1022,
+	}
+}
+
+// normSlow is normFrac's cold path — zero, subnormal or non-finite
+// working fractions — kept out of line so normFrac stays inside the
+// inlining budget.
+//
+//go:noinline
+func normSlow(frac float64, exp int) Number {
+	return Number{frac: frac, exp: exp}.norm()
+}
+
 // IsZero reports whether n is 0. The scaled representation keeps
 // frac == 0 as the single exact encoding of zero, so the comparison
 // is a representation test, not a numeric tolerance decision.
