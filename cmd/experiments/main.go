@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,46 +25,58 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runName := fs.String("run", "all",
 		"experiment to run: "+strings.Join(experiments.Order(), " ")+" or all")
-	out := flag.String("out", "results", "directory for CSV output")
-	quick := flag.Bool("quick", false, "shorter simulation horizons")
-	workers := flag.Int("workers", 0,
+	out := fs.String("out", "results", "directory for CSV output")
+	quick := fs.Bool("quick", false, "shorter simulation horizons")
+	workers := fs.Int("workers", 0,
 		"worker-pool size for sweeps and replications (0 = GOMAXPROCS)")
-	prof := cli.NewProfiler(flag.CommandLine)
-	flag.Parse()
+	prof := cli.NewProfiler(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
 	workload.Workers = *workers
 	stopProf, err := prof.Start()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	steps := experiments.Steps()
-	if *run == "all" {
+	if *runName == "all" {
 		for _, name := range experiments.Order() {
-			fmt.Printf("==== %s ====\n", name)
+			fmt.Fprintf(stdout, "==== %s ====\n", name)
 			if err := steps[name](*out, *quick); err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	} else {
-		step, ok := steps[*run]
+		step, ok := steps[*runName]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q", *run))
+			return fail(fmt.Errorf("unknown experiment %q", *runName))
 		}
 		if err := step(*out, *quick); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if err := stopProf(); err != nil {
-		fatal(err)
+		return fail(err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return 0
 }

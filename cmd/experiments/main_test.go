@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1Quick(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-run", "Fig1", "-quick", "-out", dir}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "N,") {
+		t.Errorf("figure1.csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errBuf); code != 2 {
+		t.Errorf("positional args: exit %d, want 2", code)
+	}
+	errBuf.Reset()
+	if code := run([]string{"-run", "nope", "-out", t.TempDir()}, &out, &errBuf); code != 1 {
+		t.Errorf("unknown experiment: exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}

@@ -24,8 +24,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+
 	"xbar/internal/cli"
 	"xbar/internal/core"
 	"xbar/internal/report"
@@ -33,29 +35,38 @@ import (
 )
 
 func main() {
-	n1 := flag.Int("n1", 16, "number of switch inputs")
-	n2 := flag.Int("n2", 16, "number of switch outputs")
-	alg := flag.String("alg", "alg1", "evaluator: alg1 (scaled recursion), alg2 (mean value), direct (state sum), conv (convolution)")
-	weights := flag.String("weights", "", "comma-separated revenue weights, one per class; enables the revenue report")
-	occupancy := flag.Bool("occupancy", false, "print the occupancy distribution (conv evaluator)")
-	workers := flag.Int("workers", 0, "lattice-fill workers: 0 auto, 1 sequential, n parallel (alg1/alg2)")
-	tile := flag.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
-	prof := cli.NewProfiler(flag.CommandLine)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xbar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n1 := fs.Int("n1", 16, "number of switch inputs")
+	n2 := fs.Int("n2", 16, "number of switch outputs")
+	alg := fs.String("alg", "alg1", "evaluator: alg1 (scaled recursion), alg2 (mean value), direct (state sum), conv (convolution)")
+	weights := fs.String("weights", "", "comma-separated revenue weights, one per class; enables the revenue report")
+	occupancy := fs.Bool("occupancy", false, "print the occupancy distribution (conv evaluator)")
+	workers := fs.Int("workers", 0, "lattice-fill workers: 0 auto, 1 sequential, n parallel (alg1/alg2)")
+	tile := fs.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
+	prof := cli.NewProfiler(fs)
 	var classes cli.ClassFlag
-	flag.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
-	flag.Parse()
+	fs.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "xbar: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "xbar:", err)
+		return 1
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xbar:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			fmt.Fprintln(os.Stderr, "xbar:", err)
-			os.Exit(1)
-		}
-	}()
 
 	if len(classes) == 0 {
 		classes = cli.ClassFlag{{Name: "default", A: 1, AlphaTilde: 0.0024, Mu: 1}}
@@ -77,11 +88,10 @@ func main() {
 		err = fmt.Errorf("unknown evaluator %q", *alg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xbar:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 
-	fmt.Printf("%dx%d asynchronous crossbar (%s), ln G = %.6f, utilization %.4f\n\n",
+	fmt.Fprintf(stdout, "%dx%d asynchronous crossbar (%s), ln G = %.6f, utilization %.4f\n\n",
 		sw.N1, sw.N2, res.Method, res.LogG, res.Utilization())
 	headers := []string{"class", "a", "rho(route)", "Z", "blocking", "non-blocking", "E[k]", "throughput"}
 	var rows [][]string
@@ -97,13 +107,12 @@ func main() {
 			report.FormatFloat(res.Throughput(i)),
 		})
 	}
-	if err := report.Table(os.Stdout, headers, rows); err != nil {
-		fmt.Fprintln(os.Stderr, "xbar:", err)
-		os.Exit(1)
+	if err := report.Table(stdout, headers, rows); err != nil {
+		return fail(err)
 	}
 
 	if *occupancy && res.Occupancy != nil {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		var occRows [][]string
 		for s, p := range res.Occupancy {
 			if p < 1e-12 && s > 0 {
@@ -111,24 +120,21 @@ func main() {
 			}
 			occRows = append(occRows, []string{strconv.Itoa(s), report.FormatFloat(p)})
 		}
-		if err := report.Table(os.Stdout, []string{"busy", "P"}, occRows); err != nil {
-			fmt.Fprintln(os.Stderr, "xbar:", err)
-			os.Exit(1)
+		if err := report.Table(stdout, []string{"busy", "P"}, occRows); err != nil {
+			return fail(err)
 		}
 	}
 
 	if *weights != "" {
 		ws, err := cli.ParseWeights(*weights)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xbar:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		an, err := revenue.New(sw, ws)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xbar:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		fmt.Printf("\nrevenue W(N) = %s\n", report.FormatFloat(an.W()))
+		fmt.Fprintf(stdout, "\nrevenue W(N) = %s\n", report.FormatFloat(an.W()))
 		headers := []string{"class", "w", "shadow cost", "profitable", "dW/drho (closed)", "dW/d(beta/mu)"}
 		var rrows [][]string
 		for i, c := range sw.Classes {
@@ -145,9 +151,13 @@ func main() {
 				grad,
 			})
 		}
-		if err := report.Table(os.Stdout, headers, rrows); err != nil {
-			fmt.Fprintln(os.Stderr, "xbar:", err)
-			os.Exit(1)
+		if err := report.Table(stdout, headers, rrows); err != nil {
+			return fail(err)
 		}
 	}
+
+	if err := stopProf(); err != nil {
+		return fail(err)
+	}
+	return 0
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xbar/internal/core"
+	"xbar/internal/report"
+)
+
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestDefaultRun(t *testing.T) {
+	code, out, errOut := runCapture(t)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "16x16 asynchronous crossbar (algorithm1)") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+	direct, err := core.Solve(core.NewSwitch(16, 16, core.AggregateClass{Name: "default", A: 1, AlphaTilde: 0.0024, Mu: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := report.FormatFloat(direct.Blocking[0]); !strings.Contains(out, want) {
+		t.Errorf("output missing blocking %s:\n%s", want, out)
+	}
+}
+
+func TestEvaluatorsAgree(t *testing.T) {
+	outputs := make(map[string]string)
+	for _, alg := range []string{"alg1", "alg2", "direct", "conv"} {
+		code, out, errOut := runCapture(t, "-n1", "6", "-n2", "6", "-alg", alg,
+			"-class", "v:1:0.01:0:1", "-class", "w:2:0.004:0.001:0.5")
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", alg, code, errOut)
+		}
+		// Strip the method name so the numeric tables can be compared
+		// verbatim across evaluators.
+		i := strings.IndexByte(out, ',')
+		outputs[alg] = out[i:]
+	}
+	for _, alg := range []string{"alg2", "direct", "conv"} {
+		if outputs[alg] != outputs["alg1"] {
+			t.Errorf("%s output differs from alg1:\n%s\nvs\n%s", alg, outputs[alg], outputs["alg1"])
+		}
+	}
+}
+
+func TestOccupancyAndRevenue(t *testing.T) {
+	code, out, errOut := runCapture(t, "-n1", "4", "-n2", "4", "-alg", "conv", "-occupancy",
+		"-class", "v:1:0.01:0:1", "-weights", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "busy") {
+		t.Errorf("missing occupancy table:\n%s", out)
+	}
+	if !strings.Contains(out, "revenue W(N)") || !strings.Contains(out, "shadow cost") {
+		t.Errorf("missing revenue report:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"positional args", []string{"stray"}, 2},
+		{"malformed class", []string{"-class", "nope"}, 2},
+		{"unknown evaluator", []string{"-alg", "alg9"}, 1},
+		{"invalid model", []string{"-n1", "0"}, 1},
+		{"malformed weights", []string{"-weights", "1,x"}, 1},
+		{"wrong weight count", []string{"-weights", "1,2"}, 1},
+	}
+	for _, tc := range cases {
+		code, _, errOut := runCapture(t, tc.args...)
+		if code != tc.code {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, code, tc.code, errOut)
+		}
+		if errOut == "" {
+			t.Errorf("%s: no stderr diagnostic", tc.name)
+		}
+	}
+}

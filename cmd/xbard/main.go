@@ -1,0 +1,100 @@
+// Command xbard is the long-running HTTP daemon over the crossbar
+// analytical engine: blocking and concurrency (Algorithms 1 and 2),
+// the Section 4 revenue measures, admission decisions and amortized
+// sub-size sweeps, served as JSON with an LRU solver cache and
+// single-flight deduplication (see internal/server and docs/SERVER.md).
+//
+// Usage:
+//
+//	xbard [-addr :8480] [-debug-addr 127.0.0.1:8481] \
+//	      [-workers n] [-tile t] [-cache entries] [-max-dim n] \
+//	      [-max-body bytes] [-timeout d] [-drain d] [-max-concurrent n] \
+//	      [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// The daemon serves until SIGTERM or SIGINT, then drains in-flight
+// requests within -drain and exits 0 on a clean shutdown. -debug-addr
+// (off by default, keep it on loopback: no auth) adds net/http/pprof
+// and a second /metrics on a separate mux.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xbar/internal/cli"
+	"xbar/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xbard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8480", "API listen address")
+		debugAddr     = fs.String("debug-addr", "", "pprof/metrics listen address (empty = disabled; keep on loopback)")
+		workers       = fs.Int("workers", 0, "wavefront fill workers per solve (0 = GOMAXPROCS divided across -max-concurrent)")
+		tile          = fs.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
+		cacheSize     = fs.Int("cache", 0, "retained operating points in the solver cache (0 = default 64)")
+		maxDim        = fs.Int("max-dim", 0, "largest accepted switch dimension (0 = default 1024)")
+		maxConcurrent = fs.Int("max-concurrent", 0, "solver slots: concurrent fills and lattice reads (0 = GOMAXPROCS)")
+		maxBody       = fs.Int64("max-body", 0, "request body cap in bytes (0 = default 1 MiB)")
+		timeout       = fs.Duration("timeout", 0, "per-request timeout (0 = default 30s)")
+		drain         = fs.Duration("drain", 0, "graceful-shutdown drain budget (0 = default 15s)")
+	)
+	prof := cli.NewProfiler(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "xbard: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, "xbard:", err)
+		return 1
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:           *addr,
+		DebugAddr:      *debugAddr,
+		Workers:        *workers,
+		Tile:           *tile,
+		CacheSize:      *cacheSize,
+		MaxDim:         *maxDim,
+		MaxConcurrent:  *maxConcurrent,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		DrainTimeout:   *drain,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, time.Now().Format("2006-01-02T15:04:05.000Z07:00")+" "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "xbard:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	code := 0
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintln(stderr, "xbard:", err)
+		code = 1
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(stderr, "xbard:", err)
+		code = 1
+	}
+	return code
+}

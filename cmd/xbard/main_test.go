@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"xbar/internal/core"
+	"xbar/internal/server"
+)
+
+// syncBuffer is a goroutine-safe stderr sink the test can poll while
+// the daemon runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitForLine polls the buffer for a line containing marker and
+// returns the text after it (up to end of line).
+func waitForLine(t *testing.T, buf *syncBuffer, marker string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := buf.String()
+		if i := strings.Index(s, marker); i >= 0 {
+			rest := s[i+len(marker):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				return strings.TrimSpace(rest[:j])
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never logged %q; stderr so far:\n%s", marker, buf.String())
+	return ""
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &errBuf); code != 2 {
+		t.Errorf("positional argument: exit %d, want 2", code)
+	}
+	errBuf.Reset()
+	if code := run([]string{"-cache", "-1", "-addr", "127.0.0.1:0"}, &out, &errBuf); code != 1 {
+		t.Errorf("invalid config: exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "CacheSize") {
+		t.Errorf("invalid config stderr = %q", errBuf.String())
+	}
+}
+
+// TestDaemonLifecycle runs the real daemon path: port-0 listeners, a
+// solve over the wire checked against core.Solve, pprof on the debug
+// mux, then SIGTERM and a clean drain with exit code 0.
+func TestDaemonLifecycle(t *testing.T) {
+	var stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-drain", "5s"},
+			io.Discard, &stderr)
+	}()
+	addr := waitForLine(t, &stderr, "xbard: listening on ")
+	debugAddr := waitForLine(t, &stderr, "xbard: debug (pprof, metrics) on ")
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+
+	body := `{"n1":8,"n2":8,"classes":[{"name":"smooth","a":1,"alpha":0.0024,"mu":1}]}`
+	resp, err = http.Post("http://"+addr+"/v1/blocking", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br server.BlockingResponse
+	err = json.NewDecoder(resp.Body).Decode(&br)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Solve(core.NewSwitch(8, 8, core.AggregateClass{Name: "smooth", A: 1, AlphaTilde: 0.0024, Mu: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Classes[0].Blocking != direct.Blocking[0] {
+		t.Errorf("daemon blocking %x, core.Solve %x", br.Classes[0].Blocking, direct.Blocking[0])
+	}
+
+	resp, err = http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline %d", resp.StatusCode)
+	}
+
+	// The daemon's signal handler is installed before the listening
+	// line is logged, so SIGTERM to ourselves lands on it.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d after SIGTERM; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("no clean-drain log line; stderr:\n%s", stderr.String())
+	}
+}

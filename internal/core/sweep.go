@@ -44,6 +44,20 @@ func newSweepCache(sw Switch, lat latticeResulter) sweepCache {
 	}
 }
 
+// reset re-points the cache at a freshly filled lattice, recycling the
+// memo slice whenever its capacity allows.
+func (s *sweepCache) reset(sw Switch, lat latticeResulter) {
+	s.sw = sw
+	s.lat = lat
+	size := (sw.N1 + 1) * (sw.N2 + 1)
+	if cap(s.cache) >= size {
+		s.cache = s.cache[:size]
+		clear(s.cache)
+	} else {
+		s.cache = make([]*Result, size)
+	}
+}
+
 // Switch returns the full-size switch the lattice was solved for.
 func (s *sweepCache) Switch() Switch { return s.sw }
 
@@ -110,6 +124,23 @@ func NewSweepSolver(sw Switch, opts ...Options) (*SweepSolver, error) {
 	return &SweepSolver{sweepCache: newSweepCache(solver.sw, solver), solver: solver}, nil
 }
 
+// Reuse re-points the sweep solver at sw, refilling the retained
+// Algorithm 1 lattice through Solver.Reuse (recycling the Q/W buffers)
+// and resetting the memoized reads. The zero value of SweepSolver is
+// ready for Reuse, mirroring Solver — the admission-control server's
+// solver cache recycles evicted sweep solvers this way instead of
+// allocating fresh lattices per cache miss.
+func (s *SweepSolver) Reuse(sw Switch, opts ...Options) error {
+	if s.solver == nil {
+		s.solver = &Solver{}
+	}
+	if err := s.solver.Reuse(sw, opts...); err != nil {
+		return err
+	}
+	s.sweepCache.reset(s.solver.sw, s.solver)
+	return nil
+}
+
 // MVASweepSolver is the Algorithm 2 twin: one ratio-lattice fill,
 // memoized ResultAt reads. Same semantics as SweepSolver with
 // Algorithm 2's plain-float64 numerics.
@@ -127,4 +158,19 @@ func NewMVASweepSolver(sw Switch, opts ...Options) (*MVASweepSolver, error) {
 		return nil, err
 	}
 	return &MVASweepSolver{sweepCache: newSweepCache(solver.sw, solver), solver: solver}, nil
+}
+
+// Reuse re-points the sweep solver at sw, refilling the retained ratio
+// lattices through MVASolver.Reuse and resetting the memoized reads.
+// The zero value of MVASweepSolver is ready for Reuse, same contract
+// as SweepSolver.Reuse.
+func (s *MVASweepSolver) Reuse(sw Switch, opts ...Options) error {
+	if s.solver == nil {
+		s.solver = &MVASolver{}
+	}
+	if err := s.solver.Reuse(sw, opts...); err != nil {
+		return err
+	}
+	s.sweepCache.reset(s.solver.sw, s.solver)
+	return nil
 }

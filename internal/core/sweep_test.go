@@ -178,6 +178,57 @@ func TestSweepPanicsOutsideLattice(t *testing.T) {
 	sweep.ResultAt(5, 5)
 }
 
+// TestSweepSolverReuse pins the recycling contract the server's solver
+// cache depends on: a zero-value sweep solver is ready for Reuse, and
+// Reuse across switch sizes and traffic mixes reproduces fresh
+// construction exactly, with the memoized reads reset in between.
+func TestSweepSolverReuse(t *testing.T) {
+	var s SweepSolver
+	for _, tc := range []struct {
+		n1, n2 int
+		mix    int
+	}{{16, 16, 0}, {8, 24, 3}, {24, 8, 1}, {16, 16, 2}} {
+		sw := Switch{N1: tc.n1, N2: tc.n2, Classes: sweepCases[tc.mix].classes}
+		if err := s.Reuse(sw); err != nil {
+			t.Fatalf("Reuse(%dx%d): %v", tc.n1, tc.n2, err)
+		}
+		fresh, err := NewSweepSolver(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := sweepCases[tc.mix].name
+		resultsMatch(t, tag, s.Result(), fresh.Result())
+		resultsMatch(t, tag, s.ResultAt(tc.n1/2+1, tc.n2/2+1), fresh.ResultAt(tc.n1/2+1, tc.n2/2+1))
+		if a, b := s.ResultAt(3, 3), s.ResultAt(3, 3); a != b {
+			t.Error("memoized read not stable after Reuse")
+		}
+	}
+	if err := s.Reuse(Switch{N1: 0, N2: 4}); err == nil {
+		t.Error("Reuse accepted a 0x4 switch")
+	}
+}
+
+// TestMVASweepSolverReuse is the Algorithm 2 twin.
+func TestMVASweepSolverReuse(t *testing.T) {
+	var s MVASweepSolver
+	for _, tc := range []struct {
+		n1, n2 int
+		mix    int
+	}{{16, 16, 1}, {24, 8, 3}, {8, 8, 0}} {
+		sw := Switch{N1: tc.n1, N2: tc.n2, Classes: sweepCases[tc.mix].classes}
+		if err := s.Reuse(sw); err != nil {
+			t.Fatalf("Reuse(%dx%d): %v", tc.n1, tc.n2, err)
+		}
+		fresh, err := NewMVASweepSolver(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := sweepCases[tc.mix].name
+		resultsMatch(t, tag, s.Result(), fresh.Result())
+		resultsMatch(t, tag, s.ResultAt(tc.n1/2+1, tc.n2/2+1), fresh.ResultAt(tc.n1/2+1, tc.n2/2+1))
+	}
+}
+
 func TestSweepRejectsInvalid(t *testing.T) {
 	if _, err := NewSweepSolver(Switch{N1: 0, N2: 4}); err == nil {
 		t.Error("NewSweepSolver accepted a 0x4 switch")

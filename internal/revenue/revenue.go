@@ -48,12 +48,24 @@ type Analysis struct {
 // fill the analysis runs — the sweep solve and the perturbed gradient
 // re-solves alike (e.g. core.Parallel for the wavefront schedule).
 func New(sw core.Switch, weights []float64, opts ...core.Options) (*Analysis, error) {
-	if len(weights) != len(sw.Classes) {
-		return nil, fmt.Errorf("revenue: %d weights for %d classes", len(weights), len(sw.Classes))
-	}
 	sweep, err := core.NewSweepSolver(sw, opts...)
 	if err != nil {
 		return nil, err
+	}
+	return NewWithSweep(sweep, weights, opts...)
+}
+
+// NewWithSweep builds an Analysis on an already filled sweep solver,
+// sharing its retained lattice instead of filling a new one — the path
+// the admission-control server (internal/server) takes so revenue
+// reads ride its solver cache. weights must contain one revenue rate
+// per class of the sweep's switch. opts configures only the perturbed
+// re-solves of the numerical gradients; the sweep's own fill schedule
+// was fixed when the sweep solver was built.
+func NewWithSweep(sweep *core.SweepSolver, weights []float64, opts ...core.Options) (*Analysis, error) {
+	sw := sweep.Switch()
+	if len(weights) != len(sw.Classes) {
+		return nil, fmt.Errorf("revenue: %d weights for %d classes", len(weights), len(sw.Classes))
 	}
 	return &Analysis{sw: sw, weights: weights, sweep: sweep, opts: opts}, nil
 }

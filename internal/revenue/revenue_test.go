@@ -211,3 +211,48 @@ func TestAccessors(t *testing.T) {
 		t.Error("Result() malformed")
 	}
 }
+
+// TestNewWithSweepSharesLattice pins the server-cache path: an
+// Analysis built on an existing sweep solver reproduces New exactly
+// (same W, shadow costs, gradients) and reads the very lattice it was
+// handed rather than filling its own.
+func TestNewWithSweepSharesLattice(t *testing.T) {
+	sw := core.Switch{N1: 8, N2: 8, Classes: []core.Class{
+		{Name: "p", A: 1, Alpha: 0.1, Mu: 1},
+		{Name: "peaky", A: 2, Alpha: 0.02, Beta: 0.004, Mu: 0.5},
+	}}
+	weights := []float64{1, 0.25}
+	sweep, err := core.NewSweepSolver(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewWithSweep(sweep, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(sw, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := shared.W(), fresh.W(); !almostEqual(got, want, 1e-12) {
+		t.Errorf("W = %v, want %v", got, want)
+	}
+	for r := range sw.Classes {
+		if got, want := shared.ShadowCost(r), fresh.ShadowCost(r); !almostEqual(got, want, 1e-12) {
+			t.Errorf("ShadowCost(%d) = %v, want %v", r, got, want)
+		}
+		if got, want := shared.GradientRhoClosed(r), fresh.GradientRhoClosed(r); !almostEqual(got, want, 1e-12) {
+			t.Errorf("GradientRhoClosed(%d) = %v, want %v", r, got, want)
+		}
+	}
+	if got, want := shared.GradientBetaMu(1, 1e-4), fresh.GradientBetaMu(1, 1e-4); !almostEqual(got, want, 1e-9) {
+		t.Errorf("GradientBetaMu = %v, want %v", got, want)
+	}
+	if shared.Result() != sweep.Result() {
+		t.Error("Analysis did not read the sweep solver it was handed")
+	}
+
+	if _, err := NewWithSweep(sweep, []float64{1}); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+}

@@ -1,0 +1,549 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"xbar/internal/admission"
+	"xbar/internal/core"
+	"xbar/internal/floats"
+	"xbar/internal/revenue"
+)
+
+// ClassSpec is one traffic class of a request. Alpha and Beta are
+// interpreted per SwitchSpec.Units: aggregate ("tilde", the paper's
+// numerical convention and the default) or per-route.
+type ClassSpec struct {
+	Name  string  `json:"name,omitempty"`
+	A     int     `json:"a"`
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta,omitempty"`
+	Mu    float64 `json:"mu"`
+}
+
+// SwitchSpec is the model every /v1 request carries.
+type SwitchSpec struct {
+	N1      int         `json:"n1"`
+	N2      int         `json:"n2"`
+	Units   string      `json:"units,omitempty"` // "aggregate" (default) or "route"
+	Classes []ClassSpec `json:"classes"`
+}
+
+// apiError carries an HTTP status with a client-facing message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// buildSwitch validates a SwitchSpec against the server limits and the
+// model constraints and converts it to per-route units. Every float
+// is checked finite up front — the solvers' nanguard domain
+// preconditions (finite, validated inputs) are enforced at the edge.
+func (s *Server) buildSwitch(spec SwitchSpec) (core.Switch, error) {
+	if spec.N1 < 1 || spec.N2 < 1 {
+		return core.Switch{}, badRequest("switch dimensions %dx%d, must be >= 1x1", spec.N1, spec.N2)
+	}
+	if spec.N1 > s.cfg.MaxDim || spec.N2 > s.cfg.MaxDim {
+		return core.Switch{}, badRequest("switch dimensions %dx%d exceed the server limit %d", spec.N1, spec.N2, s.cfg.MaxDim)
+	}
+	if len(spec.Classes) == 0 {
+		return core.Switch{}, badRequest("no traffic classes")
+	}
+	if len(spec.Classes) > s.cfg.MaxClasses {
+		return core.Switch{}, badRequest("%d traffic classes exceed the server limit %d", len(spec.Classes), s.cfg.MaxClasses)
+	}
+	for i, c := range spec.Classes {
+		if !finite(c.Alpha) || !finite(c.Beta) || !finite(c.Mu) {
+			return core.Switch{}, badRequest("class %d (%s): alpha, beta and mu must be finite", i, c.Name)
+		}
+		if c.A < 1 {
+			return core.Switch{}, badRequest("class %d (%s): a = %d, must be >= 1", i, c.Name, c.A)
+		}
+	}
+	var sw core.Switch
+	switch spec.Units {
+	case "", "aggregate":
+		agg := make([]core.AggregateClass, len(spec.Classes))
+		for i, c := range spec.Classes {
+			agg[i] = core.AggregateClass{Name: c.Name, A: c.A, AlphaTilde: c.Alpha, BetaTilde: c.Beta, Mu: c.Mu}
+		}
+		sw = core.NewSwitch(spec.N1, spec.N2, agg...)
+	case "route":
+		classes := make([]core.Class, len(spec.Classes))
+		for i, c := range spec.Classes {
+			classes[i] = core.Class{Name: c.Name, A: c.A, Alpha: c.Alpha, Beta: c.Beta, Mu: c.Mu}
+		}
+		sw = core.Switch{N1: spec.N1, N2: spec.N2, Classes: classes}
+	default:
+		return core.Switch{}, badRequest("units %q, want \"aggregate\" or \"route\"", spec.Units)
+	}
+	if err := sw.Validate(); err != nil {
+		return core.Switch{}, &apiError{code: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	return sw, nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// normalizeAlg maps the accepted algorithm spellings onto the cache's
+// two identifiers; /v1/blocking and /v1/sweep default to Algorithm 1.
+func normalizeAlg(a string) (string, error) {
+	switch a {
+	case "", alg1, "algorithm1":
+		return alg1, nil
+	case alg2, "algorithm2":
+		return alg2, nil
+	}
+	return "", badRequest("algorithm %q, want alg1 or alg2", a)
+}
+
+// decode reads one JSON request body with the server's strictness:
+// size-capped, unknown fields rejected, trailing data rejected.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &apiError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return badRequest("invalid JSON: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// ClassResult is one class's measures in a response, in request class
+// order. Names are echoed from the request, not the cache: cache keys
+// canonicalize names away.
+type ClassResult struct {
+	Name        string  `json:"name,omitempty"`
+	A           int     `json:"a"`
+	Blocking    float64 `json:"blocking"`
+	NonBlocking float64 `json:"non_blocking"`
+	Concurrency float64 `json:"concurrency"`
+	Throughput  float64 `json:"throughput"`
+}
+
+func classResults(spec SwitchSpec, res *core.Result) []ClassResult {
+	out := make([]ClassResult, len(res.Blocking))
+	for i := range out {
+		out[i] = ClassResult{
+			Name:        spec.Classes[i].Name,
+			A:           spec.Classes[i].A,
+			Blocking:    res.Blocking[i],
+			NonBlocking: res.NonBlocking[i],
+			Concurrency: res.Concurrency[i],
+			Throughput:  res.Throughput(i),
+		}
+	}
+	return out
+}
+
+// BlockingRequest is the POST /v1/blocking body.
+type BlockingRequest struct {
+	SwitchSpec
+	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// BlockingResponse is the POST /v1/blocking reply.
+type BlockingResponse struct {
+	N1          int           `json:"n1"`
+	N2          int           `json:"n2"`
+	Method      string        `json:"method"`
+	LogG        float64       `json:"log_g"`
+	Utilization float64       `json:"utilization"`
+	Cached      bool          `json:"cached"`
+	Classes     []ClassResult `json:"classes"`
+}
+
+func (s *Server) handleBlocking(w http.ResponseWriter, r *http.Request) error {
+	var req BlockingRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	alg, err := normalizeAlg(req.Algorithm)
+	if err != nil {
+		return err
+	}
+	sw, err := s.buildSwitch(req.SwitchSpec)
+	if err != nil {
+		return err
+	}
+	e, cached, err := s.withEntry(r, alg, sw)
+	if err != nil {
+		return err
+	}
+	defer s.cache.release(e)
+	if err := e.lock(r.Context()); err != nil {
+		return overloaded(err)
+	}
+	res := e.result()
+	resp := BlockingResponse{
+		N1: sw.N1, N2: sw.N2,
+		Method:      res.Method,
+		LogG:        res.LogG,
+		Utilization: res.Utilization(),
+		Cached:      cached,
+		Classes:     classResults(req.SwitchSpec, res),
+	}
+	e.unlock()
+	s.writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// RevenueRequest is the POST /v1/revenue body. Weights must carry one
+// revenue rate per class. Gradients requests the numerical
+// dW/d(beta/mu) central differences for bursty classes on top of the
+// closed-form dW/drho — they cost extra lattice fills per bursty
+// class, the in-lattice reads do not.
+type RevenueRequest struct {
+	SwitchSpec
+	Weights   []float64 `json:"weights"`
+	Gradients bool      `json:"gradients,omitempty"`
+	Step      float64   `json:"step,omitempty"`
+}
+
+// ClassRevenue is one class's revenue measures.
+type ClassRevenue struct {
+	Name          string   `json:"name,omitempty"`
+	Weight        float64  `json:"weight"`
+	ShadowCost    float64  `json:"shadow_cost"`
+	Profitable    bool     `json:"profitable"`
+	GradRhoClosed float64  `json:"grad_rho_closed"`
+	GradBetaMu    *float64 `json:"grad_beta_mu,omitempty"`
+}
+
+// RevenueResponse is the POST /v1/revenue reply.
+type RevenueResponse struct {
+	N1      int            `json:"n1"`
+	N2      int            `json:"n2"`
+	W       float64        `json:"w"`
+	Cached  bool           `json:"cached"`
+	Classes []ClassRevenue `json:"classes"`
+}
+
+func (s *Server) handleRevenue(w http.ResponseWriter, r *http.Request) error {
+	var req RevenueRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	sw, err := s.buildSwitch(req.SwitchSpec)
+	if err != nil {
+		return err
+	}
+	if len(req.Weights) != len(sw.Classes) {
+		return badRequest("%d weights for %d classes", len(req.Weights), len(sw.Classes))
+	}
+	for i, wt := range req.Weights {
+		if !finite(wt) {
+			return badRequest("weight %d is not finite", i)
+		}
+	}
+	step := req.Step
+	if floats.Zero(step) {
+		step = 1e-4 // omitted (or numerically zero): the default
+	}
+	if !finite(step) || step <= 0 || step > 0.1 {
+		return badRequest("step %v, want 0 < step <= 0.1", req.Step)
+	}
+	// Revenue rides the Algorithm 1 cache: the analysis's in-lattice
+	// reads and gradient re-solves run on the scaled lattice.
+	e, cached, err := s.withEntry(r, alg1, sw)
+	if err != nil {
+		return err
+	}
+	defer s.cache.release(e)
+	if err := e.lock(r.Context()); err != nil {
+		return overloaded(err)
+	}
+	defer e.unlock()
+	an, err := revenue.NewWithSweep(e.sweep, req.Weights, s.cfg.fillOptions())
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	resp := RevenueResponse{N1: sw.N1, N2: sw.N2, W: an.W(), Cached: cached}
+	for i, c := range sw.Classes {
+		cr := ClassRevenue{
+			Name:          req.Classes[i].Name,
+			Weight:        req.Weights[i],
+			ShadowCost:    an.ShadowCost(i),
+			Profitable:    an.Profitable(i),
+			GradRhoClosed: an.GradientRhoClosed(i),
+		}
+		if req.Gradients && !c.IsPoisson() && sw.MinN() >= 2 {
+			g := an.GradientBetaMu(i, step)
+			cr.GradBetaMu = &g
+		}
+		resp.Classes = append(resp.Classes, cr)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// AdmissionRequest is the POST /v1/admission body: should a class-r
+// request be accepted? Two policies:
+//
+//   - "profitability" (default): accept iff w_r exceeds the shadow
+//     cost DeltaW_r(N) — the paper's Section 4 economics. Requires
+//     Weights; served off the Algorithm 1 cache.
+//   - "reservation": trunk reservation — accept iff the
+//     post-acceptance occupancy stays within Limits[r], given the
+//     current per-class connection counts State (default: empty
+//     switch). Pure arithmetic, no solve.
+type AdmissionRequest struct {
+	SwitchSpec
+	Class   int       `json:"class"`
+	Policy  string    `json:"policy,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+	Limits  []int     `json:"limits,omitempty"`
+	State   []int     `json:"state,omitempty"`
+}
+
+// AdmissionResponse is the POST /v1/admission reply.
+type AdmissionResponse struct {
+	Accept     bool     `json:"accept"`
+	Policy     string   `json:"policy"`
+	Class      int      `json:"class"`
+	Weight     *float64 `json:"weight,omitempty"`
+	ShadowCost *float64 `json:"shadow_cost,omitempty"`
+	Occupancy  *int     `json:"occupancy,omitempty"`
+	Cached     bool     `json:"cached"`
+}
+
+func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) error {
+	var req AdmissionRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	sw, err := s.buildSwitch(req.SwitchSpec)
+	if err != nil {
+		return err
+	}
+	if req.Class < 0 || req.Class >= len(sw.Classes) {
+		return badRequest("class %d of %d", req.Class, len(sw.Classes))
+	}
+	switch req.Policy {
+	case "", "profitability":
+		if len(req.Weights) != len(sw.Classes) {
+			return badRequest("profitability policy wants %d weights, got %d", len(sw.Classes), len(req.Weights))
+		}
+		for i, wt := range req.Weights {
+			if !finite(wt) {
+				return badRequest("weight %d is not finite", i)
+			}
+		}
+		e, cached, err := s.withEntry(r, alg1, sw)
+		if err != nil {
+			return err
+		}
+		defer s.cache.release(e)
+		if err := e.lock(r.Context()); err != nil {
+			return overloaded(err)
+		}
+		an, err := revenue.NewWithSweep(e.sweep, req.Weights)
+		if err != nil {
+			e.unlock()
+			return badRequest("%v", err)
+		}
+		shadow := an.ShadowCost(req.Class)
+		accept := an.Profitable(req.Class)
+		e.unlock()
+		s.writeJSON(w, http.StatusOK, AdmissionResponse{
+			Accept: accept, Policy: "profitability", Class: req.Class,
+			Weight: &req.Weights[req.Class], ShadowCost: &shadow, Cached: cached,
+		})
+		return nil
+	case "reservation":
+		if len(req.Limits) != len(sw.Classes) {
+			return badRequest("reservation policy wants %d limits, got %d", len(sw.Classes), len(req.Limits))
+		}
+		state := req.State
+		if state == nil {
+			state = make([]int, len(sw.Classes))
+		}
+		if len(state) != len(sw.Classes) {
+			return badRequest("state wants %d per-class counts, got %d", len(sw.Classes), len(state))
+		}
+		for i, k := range state {
+			if k < 0 {
+				return badRequest("state[%d] = %d is negative", i, k)
+			}
+		}
+		if occ := sw.OccupancyOf(state); occ > sw.MinN() {
+			return badRequest("state occupies %d of %d ports", occ, sw.MinN())
+		}
+		policy, err := admission.TrunkReservation(sw, req.Limits)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		occ := sw.OccupancyOf(state)
+		// The policy admits within the reservation limit; port
+		// contention still rejects when the switch itself is full.
+		accept := policy(state, req.Class) && occ+sw.Classes[req.Class].A <= sw.MinN()
+		s.writeJSON(w, http.StatusOK, AdmissionResponse{
+			Accept: accept, Policy: "reservation", Class: req.Class, Occupancy: &occ,
+		})
+		return nil
+	}
+	return badRequest("policy %q, want profitability or reservation", req.Policy)
+}
+
+// SweepPoint selects one sub-switch of a sweep.
+type SweepPoint struct {
+	N1 int `json:"n1"`
+	N2 int `json:"n2"`
+}
+
+// SweepRequest is the POST /v1/sweep body: one lattice fill at
+// (N1, N2), results for every requested sub-size with the same
+// per-route classes (core.SweepSolver semantics — aggregate loads are
+// converted once at the full size, not re-normalized per point).
+// Empty Points means the square diagonal (1,1)..(minN,minN). Weights,
+// when present, adds the revenue W at every point.
+type SweepRequest struct {
+	SwitchSpec
+	Algorithm string       `json:"algorithm,omitempty"`
+	Points    []SweepPoint `json:"points,omitempty"`
+	Weights   []float64    `json:"weights,omitempty"`
+}
+
+// SweepResult is one point of the sweep reply. Blocking and
+// Concurrency are in request class order.
+type SweepResult struct {
+	N1          int       `json:"n1"`
+	N2          int       `json:"n2"`
+	Blocking    []float64 `json:"blocking"`
+	Concurrency []float64 `json:"concurrency"`
+	W           *float64  `json:"w,omitempty"`
+}
+
+// SweepResponse is the POST /v1/sweep reply.
+type SweepResponse struct {
+	N1      int           `json:"n1"`
+	N2      int           `json:"n2"`
+	Method  string        `json:"method"`
+	Cached  bool          `json:"cached"`
+	Results []SweepResult `json:"results"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	var req SweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	alg, err := normalizeAlg(req.Algorithm)
+	if err != nil {
+		return err
+	}
+	sw, err := s.buildSwitch(req.SwitchSpec)
+	if err != nil {
+		return err
+	}
+	points := req.Points
+	if len(points) == 0 {
+		points = make([]SweepPoint, sw.MinN())
+		for i := range points {
+			points[i] = SweepPoint{N1: i + 1, N2: i + 1}
+		}
+	}
+	if len(points) > s.cfg.MaxSweepPoints {
+		return badRequest("%d sweep points exceed the server limit %d", len(points), s.cfg.MaxSweepPoints)
+	}
+	for _, p := range points {
+		if p.N1 < 1 || p.N2 < 1 || p.N1 > sw.N1 || p.N2 > sw.N2 {
+			return badRequest("sweep point %dx%d outside the %dx%d lattice", p.N1, p.N2, sw.N1, sw.N2)
+		}
+	}
+	if req.Weights != nil {
+		if len(req.Weights) != len(sw.Classes) {
+			return badRequest("%d weights for %d classes", len(req.Weights), len(sw.Classes))
+		}
+		for i, wt := range req.Weights {
+			if !finite(wt) {
+				return badRequest("weight %d is not finite", i)
+			}
+		}
+	}
+	e, cached, err := s.withEntry(r, alg, sw)
+	if err != nil {
+		return err
+	}
+	defer s.cache.release(e)
+	if err := e.lock(r.Context()); err != nil {
+		return overloaded(err)
+	}
+	defer e.unlock()
+	resp := SweepResponse{N1: sw.N1, N2: sw.N2, Cached: cached, Results: make([]SweepResult, len(points))}
+	resp.Method = e.result().Method
+	for i, p := range points {
+		res := e.resultAt(p.N1, p.N2)
+		sr := SweepResult{
+			N1:          p.N1,
+			N2:          p.N2,
+			Blocking:    res.Blocking,
+			Concurrency: res.Concurrency,
+		}
+		if req.Weights != nil {
+			wv := res.Revenue(req.Weights)
+			sr.W = &wv
+		}
+		resp.Results[i] = sr
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// withEntry acquires a solver slot and resolves the cache entry for
+// the operating point. The slot is released before returning: the
+// semaphore bounds concurrent lattice fills (the CPU-heavy part),
+// while entry reads are serialized per entry by the entry lock.
+func (s *Server) withEntry(r *http.Request, alg string, sw core.Switch) (*solverEntry, bool, error) {
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		return nil, false, overloaded(err)
+	}
+	defer release()
+	e, cached, err := s.cache.get(r.Context(), alg, sw)
+	if err != nil {
+		var api *apiError
+		if errors.As(err, &api) {
+			return nil, false, err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, false, overloaded(err)
+		}
+		return nil, false, &apiError{code: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	return e, cached, nil
+}
+
+// overloaded maps context expiry (semaphore or entry-lock wait) onto
+// 503 so load balancers retry elsewhere.
+func overloaded(err error) error {
+	return &apiError{code: http.StatusServiceUnavailable, msg: fmt.Sprintf("overloaded: %v", err)}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	return nil
+}

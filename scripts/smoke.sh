@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the xbard daemon (`make smoke`, CI's smoke
+# job): build it, start it, hit /healthz, check /v1/blocking against
+# the committed results/figure1.csv value to 1e-9, scrape /metrics,
+# then SIGTERM and require a clean drain with exit code 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${XBARD_PORT:-8482}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "smoke: building xbard"
+go build -o "$WORK/xbard" ./cmd/xbard
+
+"$WORK/xbard" -addr "127.0.0.1:$PORT" -drain 10s 2>"$WORK/xbard.log" &
+PID=$!
+
+ok=
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >"$WORK/healthz.json" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "smoke: xbard exited before serving; log:" >&2
+        cat "$WORK/xbard.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$ok" ]; then
+    echo "smoke: xbard never answered /healthz; log:" >&2
+    cat "$WORK/xbard.log" >&2
+    exit 1
+fi
+grep -q '"status":"ok"' "$WORK/healthz.json"
+echo "smoke: /healthz ok"
+
+# Figure 1 operating point at N=16: single Bernoulli class, a=1,
+# alpha~=.0024, mu=1. The served blocking must match the committed
+# results/figure1.csv beta~=0 column to 1e-9.
+GOLDEN="$(awk -F, '$1 == 16 { print $2; exit }' results/figure1.csv)"
+curl -fsS -X POST -d '{"n1":16,"n2":16,"classes":[{"name":"smooth","a":1,"alpha":0.0024,"mu":1}]}' \
+    "$BASE/v1/blocking" >"$WORK/blocking.json"
+GOT="$(grep -o '"blocking":[0-9.eE+-]*' "$WORK/blocking.json" | head -1 | cut -d: -f2)"
+awk -v got="$GOT" -v want="$GOLDEN" 'BEGIN {
+    d = got - want; if (d < 0) d = -d
+    printf "smoke: /v1/blocking = %s, results/figure1.csv = %s, |diff| = %.3g\n", got, want, d
+    exit !(d <= 1e-9)
+}'
+
+curl -fsS "$BASE/metrics" >"$WORK/metrics.json"
+grep -q '"misses":1' "$WORK/metrics.json"
+grep -q '"requests":1' "$WORK/metrics.json"
+echo "smoke: /metrics ok"
+
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "smoke: xbard exited $rc after SIGTERM; log:" >&2
+    cat "$WORK/xbard.log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$WORK/xbard.log"
+echo "smoke: clean drain, exit 0"
