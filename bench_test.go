@@ -7,6 +7,7 @@ import (
 	"xbar/internal/admission"
 	"xbar/internal/clos"
 	"xbar/internal/core"
+	"xbar/internal/grid"
 	"xbar/internal/hotspot"
 	"xbar/internal/inputq"
 	"xbar/internal/ipp"
@@ -144,6 +145,122 @@ func BenchmarkSweep(b *testing.B) {
 			}
 		}
 	})
+}
+
+// gridFigurePoints builds a figure-style batch in per-route units: each
+// curve holds its per-route class fixed while the size axis sweeps, so
+// every curve is ONE canonical model and the whole curve reads off one
+// max-size lattice. (The published figures use aggregate units, whose
+// C(N2,a) normalization makes every size a distinct per-route model;
+// per-route grids are where the class-factored engine earns its keep.)
+func gridFigurePoints(seriesClasses [][]core.Class, ns []int) []core.Switch {
+	var points []core.Switch
+	for _, classes := range seriesClasses {
+		for _, n := range ns {
+			points = append(points, core.Switch{N1: n, N2: n, Classes: classes})
+		}
+	}
+	return points
+}
+
+func denseNs(lo, hi, step int) []int {
+	var ns []int
+	for n := lo; n <= hi; n += step {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+// benchGridAB runs the engine/fresh ablation over one batch: a cold
+// grid.Engine per iteration (the measured win is batch grouping, not
+// cross-call memo warmth) against the per-point re-solve pattern the
+// engine replaced.
+func benchGridAB(b *testing.B, points []core.Switch) {
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := grid.New(grid.Options{})
+			res, err := eng.Solve(points)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = res[len(res)-1].Blocking[0]
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, sw := range points {
+				res, err := core.Solve(sw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkF = res.Blocking[0]
+			}
+		}
+	})
+}
+
+// BenchmarkGridFigure2Style is a Figure 2-shaped grid (four burstiness
+// curves over a dense size axis) on the batched engine versus fresh
+// per-point solves. Each curve collapses to one 64x64 fill.
+func BenchmarkGridFigure2Style(b *testing.B) {
+	var series [][]core.Class
+	for _, bt := range []float64{0, 0.0005, 0.001, 0.002} {
+		series = append(series, []core.Class{{Name: "peaky", A: 1, Alpha: 0.001, Beta: bt, Mu: 1}})
+	}
+	benchGridAB(b, gridFigurePoints(series, denseNs(4, 64, 4)))
+}
+
+// BenchmarkGridFigure4Style is a Figure 4-shaped grid (bandwidth a=1
+// versus a=2 at fixed per-route load, dense sizes) on the batched
+// engine versus fresh per-point solves.
+func BenchmarkGridFigure4Style(b *testing.B) {
+	series := [][]core.Class{
+		{{Name: "a1", A: 1, Alpha: 0.002, Mu: 1}},
+		{{Name: "a2", A: 2, Alpha: 0.0008, Mu: 1}},
+	}
+	benchGridAB(b, gridFigurePoints(series, denseNs(4, 64, 4)))
+}
+
+// BenchmarkGridFixedPoint measures the delta-aware fixed point on a
+// symmetric eight-switch ring: every iteration produces eight bitwise
+// identical thinned operating points, which the batched engine
+// collapses to one lattice fill ("memo") while the ablation solves all
+// eight ("fresh").
+func BenchmarkGridFixedPoint(b *testing.B) {
+	const ringN = 8
+	var net network.Network
+	for i := 0; i < ringN; i++ {
+		net.Switches = append(net.Switches, network.Dim{N1: 32, N2: 32})
+	}
+	for i := 0; i < ringN; i++ {
+		net.Routes = append(net.Routes, network.Route{
+			Name: fmt.Sprintf("local%d", i), Path: []int{i}, Rate: 2.4, Mu: 1,
+		})
+	}
+	for i := 0; i < ringN; i++ {
+		net.Routes = append(net.Routes, network.Route{
+			Name: fmt.Sprintf("hop%d", i), Path: []int{i, (i + 1) % ringN}, Rate: 1.6, Mu: 1,
+		})
+	}
+	for _, mode := range []struct {
+		name   string
+		noMemo bool
+	}{{"memo", false}, {"fresh", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fp, err := network.FixedPointWith(net, network.FPConfig{
+					Tol: 1e-10, MaxIter: 500, NoMemo: mode.noMemo,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkF = fp.RouteBlocking[0]
+			}
+		})
+	}
 }
 
 // BenchmarkSimValidation is the "compare with simulation" experiment

@@ -13,12 +13,15 @@
 // With -compare the command instead diffs two trajectory files and
 // renders a delta table (ns/op, B/op, allocs/op, percent change):
 //
-//	benchjson -compare BENCH_2.json BENCH_3.json [-fail-above 25]
+//	benchjson -compare BENCH_2.json BENCH_3.json [-fail-above 25] [-min-ns 0]
 //
 // -fail-above makes the exit status enforce a regression budget: any
 // shared benchmark whose ns/op grew by more than the given percentage
 // fails the run (CI's bench-short job uses this against the committed
-// trajectory point).
+// trajectory point). -min-ns excludes benchmarks whose ns/op is below
+// the floor in BOTH files from the budget (they still print):
+// sub-microsecond benchmarks measured with -benchtime 1x are timer
+// overhead, not signal.
 package main
 
 import (
@@ -57,6 +60,7 @@ func main() {
 	baseline := flag.String("baseline", "", "earlier BENCH_*.json to embed as the baseline section")
 	compareMode := flag.Bool("compare", false, "diff two BENCH_*.json files given as arguments instead of parsing benchmark text")
 	failAbove := flag.Float64("fail-above", 0, "with -compare: exit non-zero if any ns/op regression exceeds this percentage (0 disables)")
+	minNs := flag.Float64("min-ns", 0, "with -compare: exclude benchmarks below this ns/op in both files from the -fail-above budget")
 	flag.Parse()
 
 	if *compareMode {
@@ -71,7 +75,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report, worst := compare(old, cur)
+		report, worst := compare(old, cur, *minNs)
 		if _, err := io.WriteString(os.Stdout, report); err != nil {
 			fatal(err)
 		}
@@ -193,8 +197,10 @@ func parse(r io.Reader) (map[string]Metrics, error) {
 // compare renders the delta table between two benchmark maps and
 // returns it with the worst ns/op regression percentage among shared
 // benchmarks (negative when everything got faster). Benchmarks present
-// in only one file are listed but carry no delta.
-func compare(old, cur map[string]Metrics) (string, float64) {
+// in only one file are listed but carry no delta; shared benchmarks
+// below minNs ns/op in both files print but stay out of the worst
+// computation.
+func compare(old, cur map[string]Metrics, minNs float64) (string, float64) {
 	names := make([]string, 0, len(old)+len(cur))
 	for name := range old {
 		names = append(names, name)
@@ -222,7 +228,7 @@ func compare(old, cur map[string]Metrics) (string, float64) {
 		default:
 			shared++
 			d := pct(o.NsPerOp, c.NsPerOp)
-			if d > worst {
+			if d > worst && (o.NsPerOp >= minNs || c.NsPerOp >= minNs) {
 				worst = d
 			}
 			fmt.Fprintf(&b, "%-52s %14.0f %14.0f %+8.1f%% %+8.1f%% %+7.1f%%\n",

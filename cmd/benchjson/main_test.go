@@ -71,7 +71,7 @@ func TestCompare(t *testing.T) {
 		"BenchmarkB":   {NsPerOp: 2500, BytesPerOp: 0, AllocsPerOp: 0},
 		"BenchmarkNew": {NsPerOp: 75},
 	}
-	report, worst := compare(old, cur)
+	report, worst := compare(old, cur, 0)
 	if worst != 25 {
 		t.Errorf("worst regression = %v, want 25 (BenchmarkB 2000 -> 2500)", worst)
 	}
@@ -91,14 +91,38 @@ func TestCompare(t *testing.T) {
 func TestCompareImprovementOnly(t *testing.T) {
 	old := map[string]Metrics{"BenchmarkA": {NsPerOp: 1000}}
 	cur := map[string]Metrics{"BenchmarkA": {NsPerOp: 900}}
-	if _, worst := compare(old, cur); worst >= 0 {
+	if _, worst := compare(old, cur, 0); worst >= 0 {
 		t.Errorf("worst = %v for a pure improvement, want negative", worst)
 	}
 }
 
 func TestCompareNoShared(t *testing.T) {
-	_, worst := compare(map[string]Metrics{"BenchmarkA": {NsPerOp: 1}}, map[string]Metrics{"BenchmarkB": {NsPerOp: 1}})
+	_, worst := compare(map[string]Metrics{"BenchmarkA": {NsPerOp: 1}}, map[string]Metrics{"BenchmarkB": {NsPerOp: 1}}, 0)
 	if worst != 0 {
 		t.Errorf("worst = %v with no shared benchmarks, want 0", worst)
+	}
+}
+
+func TestCompareMinNsFloor(t *testing.T) {
+	old := map[string]Metrics{
+		"BenchmarkTiny": {NsPerOp: 100}, // noise at -benchtime 1x
+		"BenchmarkReal": {NsPerOp: 50000},
+	}
+	cur := map[string]Metrics{
+		"BenchmarkTiny": {NsPerOp: 900}, // +800%, below the floor in both files
+		"BenchmarkReal": {NsPerOp: 60000},
+	}
+	report, worst := compare(old, cur, 5000)
+	if worst != 20 {
+		t.Errorf("worst = %v with the 5000ns floor, want 20 (BenchmarkReal)", worst)
+	}
+	// The floored benchmark still prints.
+	if !strings.Contains(report, "BenchmarkTiny") || !strings.Contains(report, "+800.0%") {
+		t.Errorf("report does not list the floored benchmark:\n%s", report)
+	}
+	// A benchmark crossing the floor counts: 100ns -> 6000ns.
+	cur["BenchmarkTiny"] = Metrics{NsPerOp: 6000}
+	if _, worst := compare(old, cur, 5000); worst != 5900 {
+		t.Errorf("worst = %v for a benchmark crossing the floor, want 5900", worst)
 	}
 }

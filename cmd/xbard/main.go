@@ -9,6 +9,7 @@
 //	xbard [-addr :8480] [-debug-addr 127.0.0.1:8481] \
 //	      [-workers n] [-tile t] [-cache entries] [-max-dim n] \
 //	      [-max-body bytes] [-timeout d] [-drain d] [-max-concurrent n] \
+//	      [-max-grid-points n] \
 //	      [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // The daemon serves until SIGTERM or SIGINT, then drains in-flight
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheSize     = fs.Int("cache", 0, "retained operating points in the solver cache (0 = default 64)")
 		maxDim        = fs.Int("max-dim", 0, "largest accepted switch dimension (0 = default 1024)")
 		maxConcurrent = fs.Int("max-concurrent", 0, "solver slots: concurrent fills and lattice reads (0 = GOMAXPROCS)")
+		maxGridPoints = fs.Int("max-grid-points", 0, "largest accepted /v1/grid point list (0 = default 256)")
 		maxBody       = fs.Int64("max-body", 0, "request body cap in bytes (0 = default 1 MiB)")
 		timeout       = fs.Duration("timeout", 0, "per-request timeout (0 = default 30s)")
 		drain         = fs.Duration("drain", 0, "graceful-shutdown drain budget (0 = default 15s)")
@@ -73,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheSize:      *cacheSize,
 		MaxDim:         *maxDim,
 		MaxConcurrent:  *maxConcurrent,
+		MaxGridPoints:  *maxGridPoints,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drain,

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -27,15 +28,31 @@ import (
 )
 
 func main() {
-	n1 := flag.Int("n1", 16, "number of switch inputs")
-	n2 := flag.Int("n2", 16, "number of switch outputs")
-	horizon := flag.Float64("horizon", 200000, "measured simulated time")
-	warmup := flag.Float64("warmup", 20000, "discarded warmup time")
-	seed := flag.Uint64("seed", 1, "random seed")
-	service := flag.String("service", "exp", "holding time distribution: exp det erlang4 hyper4 pareto2.5")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xbarsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n1 := fs.Int("n1", 16, "number of switch inputs")
+	n2 := fs.Int("n2", 16, "number of switch outputs")
+	horizon := fs.Float64("horizon", 200000, "measured simulated time")
+	warmup := fs.Float64("warmup", 20000, "discarded warmup time")
+	seed := fs.Uint64("seed", 1, "random seed")
+	service := fs.String("service", "exp", "holding time distribution: exp det erlang4 hyper4 pareto2.5")
 	var classes cli.ClassFlag
-	flag.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
-	flag.Parse()
+	fs.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "xbarsim: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "xbarsim:", err)
+		return 1
+	}
 
 	if len(classes) == 0 {
 		classes = cli.ClassFlag{{Name: "default", A: 1, AlphaTilde: 0.0024, Mu: 1}}
@@ -46,16 +63,14 @@ func main() {
 	for i, c := range sw.Classes {
 		d, err := cli.ParseService(*service, 1/c.Mu)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "xbarsim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		dists[i] = d
 	}
 
 	analytic, err := core.Solve(sw)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xbarsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	res, err := sim.Run(sim.Config{
 		Switch:  sw,
@@ -65,13 +80,12 @@ func main() {
 		Service: dists,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xbarsim:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 
-	fmt.Printf("%dx%d crossbar, %s service, %d events, horizon %g (+%g warmup), seed %d\n",
+	fmt.Fprintf(stdout, "%dx%d crossbar, %s service, %d events, horizon %g (+%g warmup), seed %d\n",
 		sw.N1, sw.N2, dists[0].Name(), res.Events, *horizon, *warmup, *seed)
-	fmt.Printf("mean occupancy %.4f (utilization %.4f)\n\n", res.MeanOccupancy, res.Utilization)
+	fmt.Fprintf(stdout, "mean occupancy %.4f (utilization %.4f)\n\n", res.MeanOccupancy, res.Utilization)
 	headers := []string{"class", "offered", "blocked",
 		"B time (sim)", "B (analytic)", "B call (sim)", "E (sim)", "E (analytic)"}
 	var rows [][]string
@@ -88,8 +102,8 @@ func main() {
 			report.FormatFloat(analytic.Concurrency[i]),
 		})
 	}
-	if err := report.Table(os.Stdout, headers, rows); err != nil {
-		fmt.Fprintln(os.Stderr, "xbarsim:", err)
-		os.Exit(1)
+	if err := report.Table(stdout, headers, rows); err != nil {
+		return fail(err)
 	}
+	return 0
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// short simulation flags: enough events for non-empty counters, fast
+// enough for the unit-test tier.
+var short = []string{"-n1", "4", "-n2", "4", "-horizon", "2000", "-warmup", "200"}
+
+func TestDefaultRun(t *testing.T) {
+	code, out, errOut := runCapture(t, short...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"4x4 crossbar, exponential service", "mean occupancy", "B (analytic)", "default"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServiceAndClasses(t *testing.T) {
+	args := append(append([]string(nil), short...),
+		"-service", "det", "-seed", "7",
+		"-class", "v:1:0.01:0:1", "-class", "w:2:0.004:0.001:0.5")
+	code, out, errOut := runCapture(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"deterministic service", "seed 7", "v", "w"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-service", "bogus"},
+		{"-class", "nonsense"},
+		{"positional"},
+		{"-n1", "0"},
+	}
+	for _, args := range cases {
+		code, _, errOut := runCapture(t, args...)
+		if code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+		if errOut == "" {
+			t.Errorf("args %v: empty stderr", args)
+		}
+	}
+}

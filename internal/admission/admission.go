@@ -15,6 +15,9 @@ package admission
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"xbar/internal/core"
 	"xbar/internal/parallel"
@@ -83,29 +86,80 @@ func Evaluate(sw core.Switch, weights []float64, limits []int, maxStates int) (*
 	return ev, nil
 }
 
-// OptimizeReservation sweeps the reservation limit of one class from 0
-// to min(N1,N2) with every other class uncontrolled, returning the
-// revenue-maximizing evaluation and the whole sweep. This is the
-// one-dimensional trunk-reservation design problem: how much of the
-// switch should a low-value class be allowed to occupy?
-func OptimizeReservation(sw core.Switch, weights []float64, class, maxStates int) (*Evaluation, []*Evaluation, error) {
-	if class < 0 || class >= len(sw.Classes) {
-		return nil, nil, fmt.Errorf("admission: class %d of %d", class, len(sw.Classes))
+// optimizer memoizes exact policy evaluations across line searches.
+// Distinct limit vectors that induce the same policy share one CTMC
+// solve: any limit at or above min(N1,N2) is uncontrolled (the
+// post-acceptance occupancy can never exceed it), so limits are
+// canonicalized by capping there. The memo is what makes the
+// coordinate-descent search affordable — every pass after the first
+// revisits mostly-seen vectors.
+type optimizer struct {
+	sw        core.Switch
+	weights   []float64
+	maxStates int
+
+	mu     sync.Mutex
+	memo   map[string]*Evaluation
+	hits   int
+	solves int
+}
+
+func newOptimizer(sw core.Switch, weights []float64, maxStates int) (*optimizer, error) {
+	if len(weights) != len(sw.Classes) {
+		return nil, fmt.Errorf("admission: %d weights for %d classes", len(weights), len(sw.Classes))
 	}
-	ts := make([]int, sw.MinN()+1)
+	return &optimizer{sw: sw, weights: weights, maxStates: maxStates, memo: make(map[string]*Evaluation)}, nil
+}
+
+// key canonicalizes a limit vector: limits at or above MinN all mean
+// "uncontrolled" and collapse onto one entry.
+func (o *optimizer) key(limits []int) string {
+	capN := o.sw.MinN()
+	var b strings.Builder
+	for _, t := range limits {
+		b.WriteString(strconv.Itoa(min(t, capN)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// evaluate solves one limit vector, serving repeats from the memo.
+// Callers must not mutate the returned Evaluation (the line searches
+// and descent below only read).
+func (o *optimizer) evaluate(limits []int) (*Evaluation, error) {
+	k := o.key(limits)
+	o.mu.Lock()
+	if ev, ok := o.memo[k]; ok {
+		o.hits++
+		o.mu.Unlock()
+		return ev, nil
+	}
+	o.mu.Unlock()
+	ev, err := Evaluate(o.sw, o.weights, limits, o.maxStates)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	o.memo[k] = ev
+	o.solves++
+	o.mu.Unlock()
+	return ev, nil
+}
+
+// lineSearch sweeps one class's limit from 0 to min(N1,N2) holding the
+// other limits at base, returning the revenue-maximizing evaluation
+// and the whole sweep. Each limit is an independent CTMC solve; they
+// run on the bounded pool, and results come back in limit order, so
+// the argmax is deterministic (ties break toward the smaller limit).
+func (o *optimizer) lineSearch(base []int, class int) (*Evaluation, []*Evaluation, error) {
+	ts := make([]int, o.sw.MinN()+1)
 	for t := range ts {
 		ts[t] = t
 	}
-	// Each limit is an independent CTMC solve; run them on the bounded
-	// pool. Results come back in limit order, so the argmax below is
-	// deterministic (ties break toward the smaller limit).
 	sweep, err := parallel.Map(0, ts, func(_, t int) (*Evaluation, error) {
-		limits := make([]int, len(sw.Classes))
-		for r := range limits {
-			limits[r] = sw.MinN()
-		}
+		limits := append([]int(nil), base...)
 		limits[class] = t
-		return Evaluate(sw, weights, limits, maxStates)
+		return o.evaluate(limits)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -117,4 +171,86 @@ func OptimizeReservation(sw core.Switch, weights []float64, class, maxStates int
 		}
 	}
 	return best, sweep, nil
+}
+
+// OptimizeReservation sweeps the reservation limit of one class from 0
+// to min(N1,N2) with every other class uncontrolled, returning the
+// revenue-maximizing evaluation and the whole sweep. This is the
+// one-dimensional trunk-reservation design problem: how much of the
+// switch should a low-value class be allowed to occupy?
+func OptimizeReservation(sw core.Switch, weights []float64, class, maxStates int) (*Evaluation, []*Evaluation, error) {
+	if class < 0 || class >= len(sw.Classes) {
+		return nil, nil, fmt.Errorf("admission: class %d of %d", class, len(sw.Classes))
+	}
+	o, err := newOptimizer(sw, weights, maxStates)
+	if err != nil {
+		return nil, nil, err
+	}
+	base := make([]int, len(sw.Classes))
+	for r := range base {
+		base[r] = sw.MinN()
+	}
+	return o.lineSearch(base, class)
+}
+
+// OptStats reports the work a multi-class optimization did.
+type OptStats struct {
+	// Passes is the number of full coordinate-descent passes run.
+	Passes int
+	// Solves is the number of distinct CTMC solves paid.
+	Solves int
+	// MemoHits is the number of evaluations served from the memo.
+	MemoHits int
+}
+
+// OptimizeReservations runs coordinate descent over ALL classes' trunk
+// reservation limits: starting from every class uncontrolled, each
+// pass line-searches one class at a time (holding the others at their
+// current limits) and adopts the argmax; descent stops when a full
+// pass changes nothing or maxPasses is exhausted. Revenue is
+// monotonically non-decreasing across adoptions, and the memoized
+// evaluator means repeated visits to a limit vector — the bulk of
+// every pass after the first — cost a map lookup, not a CTMC solve.
+// The search is a heuristic for the (combinatorial) joint design
+// problem; it returns the best policy found, its limit vector, and the
+// work accounting.
+func OptimizeReservations(sw core.Switch, weights []float64, maxStates, maxPasses int) (*Evaluation, OptStats, error) {
+	if maxPasses < 1 {
+		return nil, OptStats{}, fmt.Errorf("admission: maxPasses %d", maxPasses)
+	}
+	o, err := newOptimizer(sw, weights, maxStates)
+	if err != nil {
+		return nil, OptStats{}, err
+	}
+	current := make([]int, len(sw.Classes))
+	for r := range current {
+		current[r] = sw.MinN()
+	}
+	best, err := o.evaluate(current)
+	if err != nil {
+		return nil, OptStats{}, err
+	}
+	var stats OptStats
+	for pass := 1; pass <= maxPasses; pass++ {
+		stats.Passes = pass
+		changed := false
+		for class := range sw.Classes {
+			ev, _, err := o.lineSearch(current, class)
+			if err != nil {
+				return nil, OptStats{}, err
+			}
+			if ev.Revenue > best.Revenue {
+				best = ev
+				changed = true
+				copy(current, ev.Limits)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	o.mu.Lock()
+	stats.Solves, stats.MemoHits = o.solves, o.hits
+	o.mu.Unlock()
+	return best, stats, nil
 }

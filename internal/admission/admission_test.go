@@ -192,3 +192,68 @@ func TestValidation(t *testing.T) {
 		t.Error("out-of-range class accepted")
 	}
 }
+
+// TestOptimizeReservations: coordinate descent over both classes finds
+// a policy at least as good as the best single-class line search, its
+// revenue matches a direct re-evaluation of the returned limits, and
+// the memo absorbs the repeated vectors of later passes.
+func TestOptimizeReservations(t *testing.T) {
+	sw, weights := goldLead()
+	best, stats, err := OptimizeReservations(sw, weights, 10000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := OptimizeReservation(sw, weights, 1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Revenue < single.Revenue {
+		t.Errorf("descent revenue %v below single-class optimum %v", best.Revenue, single.Revenue)
+	}
+	check, err := Evaluate(sw, weights, best.Limits, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(best.Revenue, check.Revenue, 1e-12) {
+		t.Errorf("returned revenue %v does not match re-evaluation %v", best.Revenue, check.Revenue)
+	}
+	if stats.Passes < 2 {
+		t.Errorf("descent converged in %d passes; the no-change pass should still be counted", stats.Passes)
+	}
+	if stats.MemoHits == 0 {
+		t.Error("no memo hits across passes; the memoized evaluator is not being shared")
+	}
+	// Every evaluation is either a solve or a hit, and the stable pass
+	// re-visits only seen vectors.
+	evals := 1 + stats.Passes*len(sw.Classes)*(sw.MinN()+1)
+	if stats.Solves+stats.MemoHits != evals {
+		t.Errorf("solves %d + hits %d != evaluations %d", stats.Solves, stats.MemoHits, evals)
+	}
+}
+
+// TestOptimizerCanonicalLimits: limit vectors above capacity collapse
+// onto the uncontrolled policy's memo entry.
+func TestOptimizerCanonicalLimits(t *testing.T) {
+	sw, weights := goldLead()
+	o, err := newOptimizer(sw, weights, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := o.evaluate([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.evaluate([]int{9, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("uncontrolled vectors did not share one evaluation")
+	}
+	if o.solves != 1 || o.hits != 1 {
+		t.Errorf("solves %d, hits %d; want 1 and 1", o.solves, o.hits)
+	}
+	if _, _, err := OptimizeReservations(sw, weights, 10000, 0); err == nil {
+		t.Error("maxPasses 0 accepted")
+	}
+}

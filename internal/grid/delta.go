@@ -1,0 +1,83 @@
+package grid
+
+import (
+	"fmt"
+
+	"xbar/internal/core"
+)
+
+// ClassDelta overrides selected parameters of one base class. Nil
+// fields keep the base value, so a delta names exactly what moved —
+// the natural shape for the optimizer's line searches and the fixed
+// point's re-thinned alphas.
+type ClassDelta struct {
+	// Class indexes the base switch's Classes slice.
+	Class int
+	// Alpha, Beta, Mu override the per-route parameters when non-nil.
+	Alpha, Beta, Mu *float64
+}
+
+// PointDelta describes one grid point relative to a base switch: new
+// dimensions (zero keeps the base dimension) plus any class overrides.
+// The zero PointDelta is the base switch itself.
+type PointDelta struct {
+	N1, N2  int
+	Classes []ClassDelta
+}
+
+// Apply materializes the concrete switch a delta describes. The base
+// is never mutated; the classes slice is copied iff any class moves.
+func Apply(base core.Switch, d PointDelta) (core.Switch, error) {
+	sw := base
+	if d.N1 != 0 {
+		sw.N1 = d.N1
+	}
+	if d.N2 != 0 {
+		sw.N2 = d.N2
+	}
+	if len(d.Classes) > 0 {
+		sw.Classes = append([]core.Class(nil), base.Classes...)
+		for _, cd := range d.Classes {
+			if cd.Class < 0 || cd.Class >= len(sw.Classes) {
+				return core.Switch{}, fmt.Errorf("grid: class delta index %d out of range [0,%d)", cd.Class, len(sw.Classes))
+			}
+			c := &sw.Classes[cd.Class]
+			if cd.Alpha != nil {
+				c.Alpha = *cd.Alpha
+			}
+			if cd.Beta != nil {
+				c.Beta = *cd.Beta
+			}
+			if cd.Mu != nil {
+				c.Mu = *cd.Mu
+			}
+		}
+	}
+	return sw, nil
+}
+
+// Points materializes one switch per delta against a common base.
+func Points(base core.Switch, deltas []PointDelta) ([]core.Switch, error) {
+	points := make([]core.Switch, len(deltas))
+	for i, d := range deltas {
+		sw, err := Apply(base, d)
+		if err != nil {
+			return nil, fmt.Errorf("grid: point %d: %w", i, err)
+		}
+		points[i] = sw
+	}
+	return points, nil
+}
+
+// SolveDeltas evaluates a delta-described grid against a base switch:
+// the delta-aware re-solve entry point. Points whose deltas cancel out
+// (or repeat across calls, as in fixed-point iterations where a
+// switch's thinned load did not move) collapse onto memoized results;
+// the rest share fills per the engine's grouping.
+func (e *Engine) SolveDeltas(base core.Switch, deltas []PointDelta) ([]*core.Result, error) {
+	points, err := Points(base, deltas)
+	if err != nil {
+		return nil, err
+	}
+	return e.Solve(points)
+}

@@ -1,0 +1,399 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xbar/internal/core"
+)
+
+// gridConfigs spans the scheduling and reuse matrix every correctness
+// test runs under: both engine paths (memoized and the full-fill
+// fallback) at one and several workers. The race-full CI job runs
+// these under -race, so the 4-worker rows also exercise the pool's
+// synchronization.
+var gridConfigs = []Options{
+	{Workers: 1},
+	{Workers: 4},
+	{Workers: 1, NoMemo: true},
+	{Workers: 4, NoMemo: true},
+}
+
+func configName(o Options) string {
+	name := "memo"
+	if o.NoMemo {
+		name = "nomemo"
+	}
+	if o.Workers == 1 {
+		return name + "/w1"
+	}
+	return name + "/w4"
+}
+
+// freshResults is the reference: an independent core.Solve per point.
+func freshResults(t *testing.T, points []core.Switch) []*core.Result {
+	t.Helper()
+	out := make([]*core.Result, len(points))
+	for i, sw := range points {
+		res, err := core.Solve(sw)
+		if err != nil {
+			t.Fatalf("fresh solve of point %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// requireBitIdentical pins every returned measure to the fresh
+// reference with exact equality — the engine's contract is
+// bit-identity, not tolerance.
+func requireBitIdentical(t *testing.T, got, want []*core.Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("point %d differs from fresh core.Solve:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// randomSwitch mirrors internal/core's property-test generator: small
+// rectangular switches with 1-3 classes across the Poisson / peaky /
+// smooth regimes.
+func randomSwitch(rng *rand.Rand) core.Switch {
+	n1 := 1 + rng.Intn(7)
+	n2 := 1 + rng.Intn(7)
+	// Bernoulli populations are sized for the largest switch any test
+	// derives from these classes (size families go up to 8x8), not just
+	// this one, so every family member stays valid.
+	const maxN = 8
+	nClasses := 1 + rng.Intn(3)
+	var classes []core.Class
+	for i := 0; i < nClasses; i++ {
+		a := 1 + rng.Intn(3)
+		mu := 0.5 + rng.Float64()*2
+		alpha := (0.01 + rng.Float64()*0.5) * mu
+		var beta float64
+		switch rng.Intn(3) {
+		case 0: // Poisson
+		case 1: // peaky
+			beta = rng.Float64() * 0.8 * mu
+		case 2: // smooth, integer population >= maxN
+			pop := float64(maxN + 1 + rng.Intn(100))
+			beta = -alpha / pop
+			alpha = pop * (-beta)
+		}
+		classes = append(classes, core.Class{A: a, Alpha: alpha, Beta: beta, Mu: mu})
+	}
+	return core.Switch{N1: n1, N2: n2, Classes: classes}
+}
+
+// muScaled rescales (alpha, beta, mu) by a power of two, which leaves
+// rho and beta/mu bit-identical: the canonical twin of a point, and
+// the sharpest test of the class-key invariance (the engine serves it
+// from the original's fill; a fresh solve recomputes it from the
+// scaled parameters).
+func muScaled(sw core.Switch, scale float64) core.Switch {
+	classes := make([]core.Class, len(sw.Classes))
+	for i, c := range sw.Classes {
+		c.Alpha *= scale
+		c.Beta *= scale
+		c.Mu *= scale
+		classes[i] = c
+	}
+	return core.Switch{N1: sw.N1, N2: sw.N2, Classes: classes}
+}
+
+// randomBatch builds a grid with the sharing structure the engine
+// targets: for each of a few base switches it injects exact
+// duplicates, canonical (mu-scaled) twins, and same-class size
+// variants, then shuffles so dedup cannot rely on adjacency.
+func randomBatch(rng *rand.Rand) []core.Switch {
+	var points []core.Switch
+	for b := 0; b < 2+rng.Intn(2); b++ {
+		sw := randomSwitch(rng)
+		points = append(points, sw)
+		for v := 0; v < rng.Intn(3); v++ {
+			points = append(points, sw) // exact duplicate
+		}
+		if rng.Intn(2) == 0 {
+			points = append(points, muScaled(sw, 2))
+		}
+		for v := 0; v < rng.Intn(3); v++ { // size family, same classes
+			points = append(points, core.Switch{
+				N1: 1 + rng.Intn(8), N2: 1 + rng.Intn(8), Classes: sw.Classes,
+			})
+		}
+	}
+	rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+	return points
+}
+
+// TestGridBitIdenticalProperty is the tentpole's pinned contract:
+// across random grids with injected duplicate / canonical-twin /
+// size-family structure, rectangular switches, workers {1,4}, and both
+// the memoized and the full-fill fallback path, every engine result is
+// bit-identical to a fresh per-point core.Solve. A second Solve of a
+// shuffled copy re-checks the cross-call memo path the fixed point
+// leans on.
+func TestGridBitIdenticalProperty(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for _, opt := range gridConfigs {
+		opt := opt
+		t.Run(configName(opt), func(t *testing.T) {
+			for seed := int64(0); seed < int64(seeds); seed++ {
+				rng := rand.New(rand.NewSource(1000 + seed))
+				points := randomBatch(rng)
+				want := freshResults(t, points)
+				eng := New(opt)
+				got, err := eng.Solve(points)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				requireBitIdentical(t, got, want)
+
+				// Second call: overlap with the first (memo hits) plus
+				// fresh sizes of the same class sets.
+				again := append([]core.Switch(nil), points...)
+				for i := 0; i < 3 && i < len(points); i++ {
+					sw := points[i]
+					again = append(again, core.Switch{
+						N1: 1 + rng.Intn(8), N2: 1 + rng.Intn(8), Classes: sw.Classes,
+					})
+				}
+				rng.Shuffle(len(again), func(i, j int) { again[i], again[j] = again[j], again[i] })
+				want2 := freshResults(t, again)
+				got2, err := eng.Solve(again)
+				if err != nil {
+					t.Fatalf("seed %d second call: %v", seed, err)
+				}
+				requireBitIdentical(t, got2, want2)
+			}
+		})
+	}
+}
+
+// TestGridStats verifies the planner's accounting on a batch with
+// known sharing structure.
+func TestGridStats(t *testing.T) {
+	base := core.Switch{N1: 6, N2: 5, Classes: []core.Class{
+		{A: 1, Alpha: 0.05, Mu: 1},
+		{A: 2, Alpha: 0.01, Beta: 0.004, Mu: 0.8},
+	}}
+	other := core.Switch{N1: 4, N2: 4, Classes: []core.Class{
+		{A: 1, Alpha: 0.2, Beta: 0.1, Mu: 1.5},
+	}}
+	points := []core.Switch{
+		base,
+		base,                                  // exact duplicate -> batch hit
+		muScaled(base, 2),                     // canonical twin, same dims -> batch hit
+		{N1: 3, N2: 7, Classes: base.Classes}, // size variant, same fill group
+		other,                                 // distinct class set -> own group
+	}
+	eng := New(Options{Workers: 1})
+	if _, err := eng.Solve(points); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	want := Stats{Points: 5, Unique: 3, Fills: 2, BatchHits: 2, MemoHits: 0}
+	if s != want {
+		t.Fatalf("first call stats = %+v, want %+v", s, want)
+	}
+	if got, wantRate := s.HitRate(), 1-2.0/5.0; got != wantRate {
+		t.Fatalf("hit rate = %v, want %v", got, wantRate)
+	}
+
+	// Re-solving the same batch is pure memo: no new fills.
+	if _, err := eng.Solve(points); err != nil {
+		t.Fatal(err)
+	}
+	s = eng.Stats()
+	want = Stats{Points: 10, Unique: 3, Fills: 2, BatchHits: 2, MemoHits: 5}
+	if s != want {
+		t.Fatalf("second call stats = %+v, want %+v", s, want)
+	}
+}
+
+// TestGridResultsIndependent: equal points must not share mutable
+// state — mutating one result's slices cannot leak into another's, nor
+// into a later memo-served clone.
+func TestGridResultsIndependent(t *testing.T) {
+	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{{A: 1, Alpha: 0.1, Mu: 1}}}
+	eng := New(Options{Workers: 1})
+	res, err := eng.Solve([]core.Switch{sw, sw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res[1].Blocking[0]
+	res[0].Blocking[0] = -1
+	res[0].NonBlocking[0] = -1
+	res[0].Concurrency[0] = -1
+	if res[1].Blocking[0] != want {
+		t.Fatal("duplicate points share Blocking storage")
+	}
+	again, err := eng.Solve([]core.Switch{sw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Blocking[0] != want {
+		t.Fatal("memo entry was corrupted through a returned result")
+	}
+}
+
+// TestGridThroughputUsesPointMu: a canonical twin shares the fill but
+// must report throughput with its own service rate.
+func TestGridThroughputUsesPointMu(t *testing.T) {
+	sw := core.Switch{N1: 5, N2: 5, Classes: []core.Class{{A: 1, Alpha: 0.2, Mu: 1}}}
+	twin := muScaled(sw, 2)
+	eng := New(Options{Workers: 1})
+	res, err := eng.Solve([]core.Switch{sw, twin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Fills != 1 || s.BatchHits != 1 {
+		t.Fatalf("twin did not share the fill: %+v", s)
+	}
+	if got, want := res[1].Throughput(0), 2*res[0].Throughput(0); got != want {
+		t.Fatalf("twin throughput = %v, want %v", got, want)
+	}
+}
+
+// TestGridPoissonBetaCanonicalized: a beta within the Poisson
+// tolerance is never read by the solver, so it must not split the
+// canonical key.
+func TestGridPoissonBetaCanonicalized(t *testing.T) {
+	a := core.Switch{N1: 5, N2: 4, Classes: []core.Class{{A: 1, Alpha: 0.2, Mu: 1}}}
+	b := core.Switch{N1: 5, N2: 4, Classes: []core.Class{{A: 1, Alpha: 0.2, Beta: 1e-12, Mu: 1}}}
+	eng := New(Options{Workers: 1})
+	res, err := eng.Solve([]core.Switch{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.Fills != 1 {
+		t.Fatalf("tolerance-zero beta split the key: %+v", s)
+	}
+	want := freshResults(t, []core.Switch{a, b})
+	requireBitIdentical(t, res, want)
+}
+
+// TestGridValidation: invalid points are rejected up front, naming the
+// offending index.
+func TestGridValidation(t *testing.T) {
+	good := core.Switch{N1: 3, N2: 3, Classes: []core.Class{{A: 1, Alpha: 0.1, Mu: 1}}}
+	bad := core.Switch{N1: 3, N2: 3, Classes: []core.Class{{A: 0, Alpha: 0.1, Mu: 1}}}
+	eng := New(Options{})
+	_, err := eng.Solve([]core.Switch{good, bad})
+	if err == nil || !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("want error naming point 1, got %v", err)
+	}
+	res, err := eng.Solve(nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: got %v, %v", res, err)
+	}
+}
+
+// TestGridConcurrentSolve: one engine, concurrent Solve calls over
+// overlapping batches (the server's usage pattern). Run under -race in
+// CI's race-full job.
+func TestGridConcurrentSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	points := randomBatch(rng)
+	want := freshResults(t, points)
+	eng := New(Options{Workers: 2})
+	const callers = 4
+	errs := make(chan error, callers)
+	results := make([][]*core.Result, callers)
+	for g := 0; g < callers; g++ {
+		go func(g int) {
+			res, err := eng.Solve(points)
+			results[g] = res
+			errs <- err
+		}(g)
+	}
+	for g := 0; g < callers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := 0; g < callers; g++ {
+		requireBitIdentical(t, results[g], want)
+	}
+}
+
+func TestDeltaApply(t *testing.T) {
+	base := core.Switch{N1: 8, N2: 6, Classes: []core.Class{
+		{Name: "narrow", A: 1, Alpha: 0.05, Mu: 1},
+		{Name: "wide", A: 2, Alpha: 0.01, Beta: 0.004, Mu: 0.8},
+	}}
+
+	// Zero delta is the base itself.
+	sw, err := Apply(base, PointDelta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sw, base) {
+		t.Fatalf("zero delta: got %+v", sw)
+	}
+
+	// Dims and one class parameter move; the base must stay intact.
+	alpha := 0.09
+	sw, err = Apply(base, PointDelta{N1: 4, Classes: []ClassDelta{{Class: 0, Alpha: &alpha}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.N1 != 4 || sw.N2 != 6 {
+		t.Fatalf("dims = %dx%d, want 4x6", sw.N1, sw.N2)
+	}
+	if sw.Classes[0].Alpha != alpha || sw.Classes[0].Mu != 1 || sw.Classes[1] != base.Classes[1] {
+		t.Fatalf("classes = %+v", sw.Classes)
+	}
+	if base.Classes[0].Alpha != 0.05 {
+		t.Fatal("Apply mutated the base switch")
+	}
+
+	if _, err := Apply(base, PointDelta{Classes: []ClassDelta{{Class: 2}}}); err == nil {
+		t.Fatal("out-of-range class delta accepted")
+	}
+}
+
+// TestSolveDeltas: the delta entry point is exactly Solve over the
+// materialized points — same results, same sharing.
+func TestSolveDeltas(t *testing.T) {
+	base := core.Switch{N1: 6, N2: 6, Classes: []core.Class{
+		{A: 1, Alpha: 0.05, Mu: 1},
+		{A: 2, Alpha: 0.01, Beta: 0.004, Mu: 0.8},
+	}}
+	alphas := []float64{0.02, 0.05, 0.08}
+	var deltas []PointDelta
+	deltas = append(deltas, PointDelta{}) // the base
+	for i := range alphas {
+		deltas = append(deltas, PointDelta{Classes: []ClassDelta{{Class: 0, Alpha: &alphas[i]}}})
+	}
+	deltas = append(deltas, PointDelta{N1: 3, N2: 4}) // size-only: shares the base's fill group
+
+	points, err := Points(base, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := freshResults(t, points)
+	eng := New(Options{Workers: 1})
+	got, err := eng.SolveDeltas(base, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, got, want)
+	// alpha = 0.05 delta reproduces the base exactly -> batch hit; the
+	// size-only point rides the base's group fill.
+	s := eng.Stats()
+	if s.BatchHits != 1 || s.Fills != 3 {
+		t.Fatalf("stats = %+v, want 1 batch hit over 3 fills", s)
+	}
+}

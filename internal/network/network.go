@@ -19,13 +19,16 @@
 package network
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
 
 	"xbar/internal/combin"
 	"xbar/internal/core"
 	"xbar/internal/eventq"
+	"xbar/internal/grid"
 	"xbar/internal/rng"
 	"xbar/internal/stats"
 )
@@ -124,6 +127,29 @@ type FPResult struct {
 	SwitchLoad []float64
 	// Iterations taken to converge.
 	Iterations int
+	// Grid is the evaluation engine's accounting for the whole run:
+	// every per-switch solve of every iteration is one grid point, so
+	// the hit rate reports how much of the fixed point's work was
+	// shared (symmetric switches within an iteration, switches whose
+	// thinned load did not move between iterations).
+	Grid grid.Stats
+}
+
+// FPConfig parameterizes FixedPointWith.
+type FPConfig struct {
+	// Tol bounds the largest per-switch blocking change at convergence.
+	Tol float64
+	// MaxIter guards against oscillation.
+	MaxIter int
+	// Fill configures the per-switch lattice fills (workers, tile).
+	Fill core.Options
+	// NoMemo switches the evaluation engine to its full-fill fallback:
+	// every per-switch solve pays its own lattice fill, as the
+	// pre-engine code did. The fixed point's results are bit-identical
+	// either way (the grid package's property tests pin both paths to
+	// fresh core.Solve); the flag exists for A/B benchmarking and as an
+	// escape hatch.
+	NoMemo bool
 }
 
 // FixedPoint solves the reduced-load approximation by successive
@@ -132,14 +158,30 @@ type FPResult struct {
 // core.Options configures the per-switch lattice fills (e.g.
 // core.Parallel for the wavefront schedule on large switches).
 func FixedPoint(n Network, tol float64, maxIter int, opts ...core.Options) (*FPResult, error) {
+	cfg := FPConfig{Tol: tol, MaxIter: maxIter}
+	if len(opts) > 0 {
+		cfg.Fill = opts[0]
+	}
+	return FixedPointWith(n, cfg)
+}
+
+// FixedPointWith is FixedPoint with the full configuration surface.
+// Each iteration re-solves every switch under re-thinned loads; the
+// solves go through one grid.Engine, so switches that are symmetric
+// (identical dimensions and thinned per-class loads — the IEEE
+// product (1-b1)(1-b2) is commutative bit-exactly, so symmetric hops
+// of a route thin identically) share one lattice fill per iteration,
+// and a switch whose load did not move since an earlier iteration
+// pays a map lookup instead of a fill.
+func FixedPointWith(n Network, cfg FPConfig) (*FPResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	if tol <= 0 {
-		return nil, fmt.Errorf("network: tolerance %v", tol)
+	if cfg.Tol <= 0 {
+		return nil, fmt.Errorf("network: tolerance %v", cfg.Tol)
 	}
-	if maxIter < 1 {
-		return nil, fmt.Errorf("network: maxIter %d", maxIter)
+	if cfg.MaxIter < 1 {
+		return nil, fmt.Errorf("network: maxIter %d", cfg.MaxIter)
 	}
 	nS := len(n.Switches)
 	// b[s][a] is the hop blocking of bandwidth-a traffic at switch s.
@@ -150,9 +192,9 @@ func FixedPoint(n Network, tol float64, maxIter int, opts ...core.Options) (*FPR
 	hopB := func(s, a int) float64 { return b[s][a] } // zero until solved
 	load := make([]float64, nS)
 	classLoad := make([]map[int]float64, nS)
-	var scratch core.Solver
+	eng := grid.New(grid.Options{Workers: cfg.Fill.Workers, Tile: cfg.Fill.Tile, NoMemo: cfg.NoMemo})
 	var iter int
-	for iter = 1; iter <= maxIter; iter++ {
+	for iter = 1; iter <= cfg.MaxIter; iter++ {
 		// Thinned offered loads, split by bandwidth class.
 		for s := range load {
 			load[s] = 0
@@ -172,28 +214,27 @@ func FixedPoint(n Network, tol float64, maxIter int, opts ...core.Options) (*FPR
 				classLoad[s][a] += erl * thin
 			}
 		}
-		// Per-switch multi-class blocking from the single-switch model.
-		// One scratch solver serves every switch and iteration, so the
-		// whole fixed point allocates its lattices once.
+		// Per-switch multi-class blocking from the single-switch model,
+		// batched: the whole iteration is one grid solve.
+		newB, err := iterationBlocking(eng, n.Switches, classLoad)
+		if err != nil {
+			return nil, err
+		}
 		worst := 0.0
-		for s, d := range n.Switches {
-			newB, err := switchBlocking(&scratch, d, classLoad[s], opts...)
-			if err != nil {
-				return nil, err
-			}
-			for a, nb := range newB {
+		for s := range newB {
+			for a, nb := range newB[s] {
 				if diff := math.Abs(nb - b[s][a]); diff > worst {
 					worst = diff
 				}
 			}
-			b[s] = newB
+			b[s] = newB[s]
 		}
-		if worst < tol {
+		if worst < cfg.Tol {
 			break
 		}
 	}
-	if iter > maxIter {
-		return nil, fmt.Errorf("network: fixed point did not converge in %d iterations", maxIter)
+	if iter > cfg.MaxIter {
+		return nil, fmt.Errorf("network: fixed point did not converge in %d iterations", cfg.MaxIter)
 	}
 	res := &FPResult{
 		SwitchBlocking: make([]float64, nS),
@@ -201,6 +242,7 @@ func FixedPoint(n Network, tol float64, maxIter int, opts ...core.Options) (*FPR
 		SwitchLoad:     load,
 		RouteBlocking:  make([]float64, len(n.Routes)),
 		Iterations:     iter,
+		Grid:           eng.Stats(),
 	}
 	for s := range b {
 		res.SwitchBlocking[s] = b[s][1]
@@ -215,23 +257,23 @@ func FixedPoint(n Network, tol float64, maxIter int, opts ...core.Options) (*FPR
 	return res, nil
 }
 
-// switchBlocking evaluates one crossbar offered Poisson traffic split
-// into bandwidth classes (erlangs per class, spread uniformly over the
-// class's ordered routes), returning per-bandwidth hop blocking. The
-// bandwidths are visited in sorted order — map iteration order would
-// otherwise vary the classes' positions between runs and perturb the
-// fill's float rounding, breaking run-to-run determinism. The solve
-// goes through the caller's scratch solver (lattices recycled across
-// the whole fixed point).
-func switchBlocking(scratch *core.Solver, d Dim, classErlangs map[int]float64, opts ...core.Options) (map[int]float64, error) {
-	out := make(map[int]float64, len(classErlangs))
-	sw := core.Switch{N1: d.N1, N2: d.N2}
+// switchModel builds the single-switch model for one crossbar offered
+// Poisson traffic split into bandwidth classes (erlangs per class,
+// spread uniformly over the class's ordered routes). The bandwidths
+// are visited in sorted order — map iteration order would otherwise
+// vary the classes' positions between runs and perturb the fill's
+// float rounding, breaking run-to-run determinism. Zero-load
+// bandwidths are resolved immediately (out[a] = 0); order lists the
+// bandwidth behind each model class, and a switch with no loaded
+// class yields an empty model (len(order) == 0).
+func switchModel(d Dim, classErlangs map[int]float64) (sw core.Switch, order []int, out map[int]float64) {
+	out = make(map[int]float64, len(classErlangs))
+	sw = core.Switch{N1: d.N1, N2: d.N2}
 	bandwidths := make([]int, 0, len(classErlangs))
 	for a := range classErlangs {
 		bandwidths = append(bandwidths, a)
 	}
 	sort.Ints(bandwidths)
-	var order []int
 	for _, a := range bandwidths {
 		erl := classErlangs[a]
 		if erl <= 0 {
@@ -242,17 +284,46 @@ func switchBlocking(scratch *core.Solver, d Dim, classErlangs map[int]float64, o
 		sw.Classes = append(sw.Classes, core.Class{A: a, Alpha: erl / routes, Mu: 1})
 		order = append(order, a)
 	}
-	if len(sw.Classes) == 0 {
-		return out, nil
+	return sw, order, out
+}
+
+// iterationBlocking evaluates one fixed-point iteration's per-switch
+// blocking as a single grid solve: equal switch models within the
+// iteration (symmetry) and across iterations (stable loads) share one
+// lattice fill through the engine. The iteration carries a pprof
+// label so `make profile` attributes fixed-point time per phase.
+func iterationBlocking(eng *grid.Engine, dims []Dim, classLoad []map[int]float64) ([]map[int]float64, error) {
+	newB := make([]map[int]float64, len(dims))
+	orders := make([][]int, len(dims))
+	var points []core.Switch
+	var slots []int // points[k] models switch slots[k]
+	for s, d := range dims {
+		sw, order, out := switchModel(d, classLoad[s])
+		newB[s] = out
+		orders[s] = order
+		if len(order) > 0 {
+			points = append(points, sw)
+			slots = append(slots, s)
+		}
 	}
-	if err := scratch.Reuse(sw, opts...); err != nil {
+	if len(points) == 0 {
+		return newB, nil
+	}
+	var results []*core.Result
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("xbar_phase", "fixedpoint_iteration"), func(context.Context) {
+		results, err = eng.Solve(points)
+	})
+	if err != nil {
 		return nil, err
 	}
-	res := scratch.Result()
-	for i, a := range order {
-		out[a] = res.Blocking[i]
+	for k, res := range results {
+		s := slots[k]
+		for i, a := range orders[s] {
+			newB[s][a] = res.Blocking[i]
+		}
 	}
-	return out, nil
+	return newB, nil
 }
 
 // SimConfig parameterizes a network simulation.

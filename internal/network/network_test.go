@@ -2,9 +2,11 @@ package network
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"xbar/internal/core"
+	"xbar/internal/grid"
 )
 
 func TestValidation(t *testing.T) {
@@ -226,5 +228,65 @@ func TestBandwidthValidation(t *testing.T) {
 	base.Routes[0].Bandwidth = 5 // switches are 4x4
 	if err := base.Validate(); err == nil {
 		t.Error("bandwidth exceeding switch accepted")
+	}
+}
+
+// TestFixedPointMemoBitIdentical: the grid-engine evaluation (dedup,
+// memoization, group fills) must not change the fixed point by a
+// single bit relative to the full-fill fallback, which pays a fresh
+// lattice per switch per iteration exactly like the pre-engine code.
+func TestFixedPointMemoBitIdentical(t *testing.T) {
+	nets := map[string]Network{"tandem": tandem()}
+	multi := tandem()
+	multi.Routes = append(multi.Routes, Route{
+		Name: "wide", Path: []int{0, 1}, Rate: 0.2, Mu: 0.5, Bandwidth: 2,
+	})
+	nets["multirate"] = multi
+	for name, net := range nets {
+		t.Run(name, func(t *testing.T) {
+			memo, err := FixedPointWith(net, FPConfig{Tol: 1e-10, MaxIter: 200})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := FixedPointWith(net, FPConfig{Tol: 1e-10, MaxIter: 200, NoMemo: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if memo.Iterations != fresh.Iterations {
+				t.Fatalf("iterations differ: memo %d, fresh %d", memo.Iterations, fresh.Iterations)
+			}
+			memoStats, freshStats := memo.Grid, fresh.Grid
+			memo.Grid, fresh.Grid = grid.Stats{}, grid.Stats{}
+			if !reflect.DeepEqual(memo, fresh) {
+				t.Fatalf("memoized fixed point differs from full-fill fallback:\n memo %+v\nfresh %+v", memo, fresh)
+			}
+			// Only the tandem has sharable structure (symmetric edge
+			// switches); the multirate net's switches are all distinct,
+			// and the engine must not invent sharing there.
+			if name == "tandem" && memoStats.Fills >= freshStats.Fills {
+				t.Fatalf("memoization saved nothing: memo %+v, fresh %+v", memoStats, freshStats)
+			}
+		})
+	}
+}
+
+// TestFixedPointGridSharing: in the tandem network the two edge
+// switches see identical thinned loads every iteration — the IEEE
+// product (1-b1)(1-b2) is commutative bit-exactly — so each iteration
+// solves at most two distinct models for three switches.
+func TestFixedPointGridSharing(t *testing.T) {
+	fp, err := FixedPoint(tandem(), 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fp.Grid
+	if s.Points != 3*fp.Iterations {
+		t.Fatalf("grid points %d, want %d (3 switches x %d iterations)", s.Points, 3*fp.Iterations, fp.Iterations)
+	}
+	if s.BatchHits < fp.Iterations {
+		t.Fatalf("edge-switch symmetry not deduplicated: %+v over %d iterations", s, fp.Iterations)
+	}
+	if s.Fills > 2*fp.Iterations {
+		t.Fatalf("more fills than distinct models: %+v", s)
 	}
 }

@@ -60,6 +60,10 @@ type Config struct {
 	// MaxSweepPoints caps one /v1/sweep request's point list.
 	// Default 4096.
 	MaxSweepPoints int
+	// MaxGridPoints caps one /v1/grid request's point list. Grid points
+	// are costlier than sweep points (each may be a distinct lattice
+	// fill), so the default is smaller: 256.
+	MaxGridPoints int
 	// MaxConcurrent bounds the solves and lattice reads in flight at
 	// once (the solver semaphore). Default runtime.GOMAXPROCS(0).
 	MaxConcurrent int
@@ -101,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints == 0 {
 		c.MaxSweepPoints = 4096
 	}
+	if c.MaxGridPoints == 0 {
+		c.MaxGridPoints = 256
+	}
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
@@ -122,9 +129,9 @@ func (c Config) validate() error {
 	if c.CacheSize < 1 {
 		return fmt.Errorf("server: CacheSize %d, must be >= 1", c.CacheSize)
 	}
-	if c.MaxDim < 1 || c.MaxClasses < 1 || c.MaxSweepPoints < 1 {
-		return fmt.Errorf("server: limits must be >= 1 (MaxDim %d, MaxClasses %d, MaxSweepPoints %d)",
-			c.MaxDim, c.MaxClasses, c.MaxSweepPoints)
+	if c.MaxDim < 1 || c.MaxClasses < 1 || c.MaxSweepPoints < 1 || c.MaxGridPoints < 1 {
+		return fmt.Errorf("server: limits must be >= 1 (MaxDim %d, MaxClasses %d, MaxSweepPoints %d, MaxGridPoints %d)",
+			c.MaxDim, c.MaxClasses, c.MaxSweepPoints, c.MaxGridPoints)
 	}
 	if c.MaxConcurrent < 1 {
 		return fmt.Errorf("server: MaxConcurrent %d, must be >= 1", c.MaxConcurrent)

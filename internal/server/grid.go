@@ -1,0 +1,209 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"xbar/internal/core"
+	"xbar/internal/grid"
+)
+
+// GridClassDelta overrides selected parameters of one base class for
+// one grid point. Nil fields keep the base value; the overrides are in
+// the request's units (aggregate or route, per SwitchSpec.Units).
+type GridClassDelta struct {
+	Class int      `json:"class"`
+	Alpha *float64 `json:"alpha,omitempty"`
+	Beta  *float64 `json:"beta,omitempty"`
+	Mu    *float64 `json:"mu,omitempty"`
+}
+
+// GridPoint is one point of a batched evaluation, described relative
+// to the request's base switch: zero dimensions keep the base
+// dimension, and Classes lists the parameters that moved. The empty
+// GridPoint is the base switch itself.
+type GridPoint struct {
+	N1      int              `json:"n1,omitempty"`
+	N2      int              `json:"n2,omitempty"`
+	Classes []GridClassDelta `json:"classes,omitempty"`
+}
+
+// GridRequest is the POST /v1/grid body: a base switch plus per-point
+// deltas — the wire form of a parameter grid (a figure's curve family,
+// an optimizer's line search). Points that canonicalize to the same
+// per-route model, or that differ only in dimensions, share one
+// lattice fill through the solver cache. Weights, when present, adds
+// the revenue W at every point.
+type GridRequest struct {
+	SwitchSpec
+	Algorithm string      `json:"algorithm,omitempty"`
+	Points    []GridPoint `json:"points"`
+	Weights   []float64   `json:"weights,omitempty"`
+}
+
+// GridResult is one point of the grid reply, in request point order.
+// Blocking and Concurrency are in request class order. (No throughput
+// here: points sharing a fill may differ in mu, and blocking,
+// concurrency and W are the mu-invariant measures.)
+type GridResult struct {
+	N1          int       `json:"n1"`
+	N2          int       `json:"n2"`
+	Blocking    []float64 `json:"blocking"`
+	Concurrency []float64 `json:"concurrency"`
+	W           *float64  `json:"w,omitempty"`
+}
+
+// GridResponse is the POST /v1/grid reply. Models counts the distinct
+// lattice fills the batch reduced to; Cached counts how many of those
+// were already resident in (or in flight on) the solver cache.
+type GridResponse struct {
+	Method  string       `json:"method"`
+	Points  int          `json:"points"`
+	Models  int          `json:"models"`
+	Cached  int          `json:"cached"`
+	Results []GridResult `json:"results"`
+}
+
+// applyGridPoint materializes one point's SwitchSpec. Deltas apply to
+// the spec (pre-conversion), so aggregate-units loads are re-normalized
+// against the point's own dimensions, exactly as if the client had
+// sent the materialized spec to /v1/blocking.
+func applyGridPoint(base SwitchSpec, p GridPoint) (SwitchSpec, error) {
+	spec := base
+	if p.N1 != 0 {
+		spec.N1 = p.N1
+	}
+	if p.N2 != 0 {
+		spec.N2 = p.N2
+	}
+	if len(p.Classes) > 0 {
+		spec.Classes = append([]ClassSpec(nil), base.Classes...)
+		for _, d := range p.Classes {
+			if d.Class < 0 || d.Class >= len(spec.Classes) {
+				return SwitchSpec{}, badRequest("class delta index %d out of range [0,%d)", d.Class, len(spec.Classes))
+			}
+			c := &spec.Classes[d.Class]
+			if d.Alpha != nil {
+				c.Alpha = *d.Alpha
+			}
+			if d.Beta != nil {
+				c.Beta = *d.Beta
+			}
+			if d.Mu != nil {
+				c.Mu = *d.Mu
+			}
+		}
+	}
+	return spec, nil
+}
+
+// pointError prefixes a client-facing error with the offending point's
+// index, preserving its status code.
+func pointError(i int, err error) error {
+	var api *apiError
+	if errors.As(err, &api) {
+		return &apiError{code: api.code, msg: fmt.Sprintf("point %d: %s", i, api.msg)}
+	}
+	return err
+}
+
+// gridGroup is one distinct canonical class set of a grid request: all
+// its points are read off one cache entry filled at the componentwise
+// maximum dimensions.
+type gridGroup struct {
+	classes []core.Class
+	n1, n2  int
+	members []int // request point indices
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) error {
+	var req GridRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return err
+	}
+	alg, err := normalizeAlg(req.Algorithm)
+	if err != nil {
+		return err
+	}
+	if len(req.Points) == 0 {
+		return badRequest("no grid points")
+	}
+	if len(req.Points) > s.cfg.MaxGridPoints {
+		return badRequest("%d grid points exceed the server limit %d", len(req.Points), s.cfg.MaxGridPoints)
+	}
+	if req.Weights != nil {
+		if len(req.Weights) != len(req.Classes) {
+			return badRequest("%d weights for %d classes", len(req.Weights), len(req.Classes))
+		}
+		for i, wt := range req.Weights {
+			if !finite(wt) {
+				return badRequest("weight %d is not finite", i)
+			}
+		}
+	}
+
+	// Materialize and validate every point, then group by canonical
+	// class key: points differing only in dimensions (or in nothing the
+	// solver reads) share one entry at the group maximum.
+	points := make([]core.Switch, len(req.Points))
+	groups := make(map[string]*gridGroup)
+	var order []string
+	for i, p := range req.Points {
+		spec, err := applyGridPoint(req.SwitchSpec, p)
+		if err != nil {
+			return pointError(i, err)
+		}
+		sw, err := s.buildSwitch(spec)
+		if err != nil {
+			return pointError(i, err)
+		}
+		points[i] = sw
+		ck := grid.ClassKey(sw.Classes)
+		g, ok := groups[ck]
+		if !ok {
+			g = &gridGroup{classes: sw.Classes}
+			groups[ck] = g
+			order = append(order, ck)
+		}
+		g.n1 = max(g.n1, sw.N1)
+		g.n2 = max(g.n2, sw.N2)
+		g.members = append(g.members, i)
+	}
+
+	resp := GridResponse{Points: len(req.Points), Models: len(order), Results: make([]GridResult, len(req.Points))}
+	for _, ck := range order {
+		g := groups[ck]
+		groupSw := core.Switch{N1: g.n1, N2: g.n2, Classes: g.classes}
+		e, cached, err := s.withEntry(r, alg, groupSw)
+		if err != nil {
+			return err
+		}
+		if cached {
+			resp.Cached++
+		}
+		if err := e.lock(r.Context()); err != nil {
+			s.cache.release(e)
+			return overloaded(err)
+		}
+		resp.Method = e.result().Method
+		for _, i := range g.members {
+			res := e.resultAt(points[i].N1, points[i].N2)
+			gr := GridResult{
+				N1:          points[i].N1,
+				N2:          points[i].N2,
+				Blocking:    res.Blocking,
+				Concurrency: res.Concurrency,
+			}
+			if req.Weights != nil {
+				wv := res.Revenue(req.Weights)
+				gr.W = &wv
+			}
+			resp.Results[i] = gr
+		}
+		e.unlock()
+		s.cache.release(e)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	return nil
+}

@@ -35,7 +35,7 @@ type Server struct {
 // endpointNames are the instrumented endpoints, as they appear in the
 // metrics document.
 var endpointNames = []string{
-	"/v1/blocking", "/v1/revenue", "/v1/admission", "/v1/sweep", "/healthz", "/metrics",
+	"/v1/blocking", "/v1/revenue", "/v1/admission", "/v1/sweep", "/v1/grid", "/healthz", "/metrics",
 }
 
 // New builds a Server from cfg (zero fields take their documented
@@ -58,6 +58,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("POST /v1/revenue", s.instrument("/v1/revenue", s.handleRevenue))
 	s.mux.Handle("POST /v1/admission", s.instrument("/v1/admission", s.handleAdmission))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.Handle("POST /v1/grid", s.instrument("/v1/grid", s.handleGrid))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 

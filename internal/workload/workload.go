@@ -10,6 +10,7 @@ import (
 
 	"xbar/internal/combin"
 	"xbar/internal/core"
+	"xbar/internal/grid"
 	"xbar/internal/parallel"
 	"xbar/internal/revenue"
 )
@@ -38,43 +39,60 @@ func FigureNs() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }
 // Table2Ns returns the sizes of Table 2.
 func Table2Ns() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128, 256} }
 
-// blockingSweep evaluates blocking of the first class for the switch
-// builder at each N. Each point is its own per-route model (the tilde
-// loads normalize by C(n, a), see docs/PERFORMANCE.md), so the points
-// are solved independently on the bounded pool, in input order.
-func blockingSweep(ns []int, label string, build func(n int) core.Switch) (Series, error) {
-	points, err := parallel.Map(Workers, ns, func(_, n int) (Point, error) {
-		res, err := core.Solve(build(n))
-		if err != nil {
-			return Point{}, fmt.Errorf("workload: %s at N=%d: %w", label, n, err)
+// seriesSpec is one curve of a figure: a label and the model builder.
+type seriesSpec struct {
+	label string
+	build func(n int) core.Switch
+}
+
+// figureGrid evaluates every series of a figure as ONE batch on the
+// grid engine: the engine owns the worker budget for the whole figure
+// and deduplicates any points that coincide across series (note the
+// tilde loads normalize by C(n, a), so different sizes of one curve
+// are genuinely different per-route models — the sharing within a
+// figure comes from repeated points, not from the size axis; see
+// docs/PERFORMANCE.md). The first class's blocking is the plotted
+// value, as in the paper's figures.
+func figureGrid(ns []int, specs []seriesSpec) ([]Series, error) {
+	points := make([]core.Switch, 0, len(specs)*len(ns))
+	for _, sp := range specs {
+		for _, n := range ns {
+			points = append(points, sp.build(n))
 		}
-		return Point{N: n, Value: res.Blocking[0]}, nil
-	})
-	if err != nil {
-		return Series{}, err
 	}
-	return Series{Label: label, Points: points}, nil
+	eng := grid.New(grid.Options{Workers: Workers})
+	results, err := eng.Solve(points)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	out := make([]Series, len(specs))
+	for si, sp := range specs {
+		s := Series{Label: sp.label, Points: make([]Point, len(ns))}
+		for j, n := range ns {
+			s.Points[j] = Point{N: n, Value: results[si*len(ns)+j].Blocking[0]}
+		}
+		out[si] = s
+	}
+	return out, nil
 }
 
 // Figure1 reproduces the smooth-traffic figure: one Bernoulli class
 // (R1 = 0, R2 = 1), a = 1, alpha~ = .0024, mu = 1, beta~ from 0 down
 // to -4e-6; the beta~ = 0 (Poisson) curve is the upper bound.
 func Figure1(ns []int) ([]Series, error) {
-	var out []Series
+	var specs []seriesSpec
 	for _, bt := range []float64{0, -1e-6, -2e-6, -4e-6} {
 		bt := bt
-		label := fmt.Sprintf("beta~=%g", bt)
-		s, err := blockingSweep(ns, label, func(n int) core.Switch {
-			return core.NewSwitch(n, n, core.AggregateClass{
-				Name: "smooth", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
-			})
+		specs = append(specs, seriesSpec{
+			label: fmt.Sprintf("beta~=%g", bt),
+			build: func(n int) core.Switch {
+				return core.NewSwitch(n, n, core.AggregateClass{
+					Name: "smooth", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
+				})
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
 	}
-	return out, nil
+	return figureGrid(ns, specs)
 }
 
 // Figure2 reproduces the peaky-traffic figure: one Pascal class,
@@ -82,21 +100,19 @@ func Figure1(ns []int) ([]Series, error) {
 // its curve betas; these are chosen to show the reported "dramatic
 // impact" ordering.
 func Figure2(ns []int) ([]Series, error) {
-	var out []Series
+	var specs []seriesSpec
 	for _, bt := range []float64{0, 0.0012, 0.0024, 0.0048} {
 		bt := bt
-		label := fmt.Sprintf("beta~=%g", bt)
-		s, err := blockingSweep(ns, label, func(n int) core.Switch {
-			return core.NewSwitch(n, n, core.AggregateClass{
-				Name: "peaky", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
-			})
+		specs = append(specs, seriesSpec{
+			label: fmt.Sprintf("beta~=%g", bt),
+			build: func(n int) core.Switch {
+				return core.NewSwitch(n, n, core.AggregateClass{
+					Name: "peaky", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
+				})
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
 	}
-	return out, nil
+	return figureGrid(ns, specs)
 }
 
 // Figure3 compares one bursty class alone (R1 = 0, R2 = 1) against a
@@ -104,30 +120,30 @@ func Figure2(ns []int) ([]Series, error) {
 // total alpha~: the Poisson class shifts the operating point while the
 // beta~ sensitivity stays proportionate.
 func Figure3(ns []int) ([]Series, error) {
-	var out []Series
+	var specs []seriesSpec
 	for _, bt := range []float64{0.0012, 0.0024} {
 		bt := bt
-		solo, err := blockingSweep(ns, fmt.Sprintf("R2 only, beta~=%g", bt), func(n int) core.Switch {
-			return core.NewSwitch(n, n, core.AggregateClass{
-				Name: "peaky", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
-			})
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, solo)
-		both, err := blockingSweep(ns, fmt.Sprintf("R1+R2, beta~=%g", bt), func(n int) core.Switch {
-			return core.NewSwitch(n, n,
-				core.AggregateClass{Name: "poisson", A: 1, AlphaTilde: 0.0012, Mu: 1},
-				core.AggregateClass{Name: "peaky", A: 1, AlphaTilde: 0.0012, BetaTilde: bt, Mu: 1},
-			)
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, both)
+		specs = append(specs,
+			seriesSpec{
+				label: fmt.Sprintf("R2 only, beta~=%g", bt),
+				build: func(n int) core.Switch {
+					return core.NewSwitch(n, n, core.AggregateClass{
+						Name: "peaky", A: 1, AlphaTilde: 0.0024, BetaTilde: bt, Mu: 1,
+					})
+				},
+			},
+			seriesSpec{
+				label: fmt.Sprintf("R1+R2, beta~=%g", bt),
+				build: func(n int) core.Switch {
+					return core.NewSwitch(n, n,
+						core.AggregateClass{Name: "poisson", A: 1, AlphaTilde: 0.0012, Mu: 1},
+						core.AggregateClass{Name: "peaky", A: 1, AlphaTilde: 0.0012, BetaTilde: bt, Mu: 1},
+					)
+				},
+			},
+		)
 	}
-	return out, nil
+	return figureGrid(ns, specs)
 }
 
 // Table1Row is one row of Table 1: the per-input-set loads that keep
@@ -164,37 +180,22 @@ func Figure4Ns() []int { return []int{4, 8, 16, 32, 64} }
 // a=1 versus a=2 (each evaluated separately, as in the paper), showing
 // the extra contention of multi-rate requests.
 func Figure4(ns []int) ([]Series, error) {
-	rows := Table1(ns)
-	type pair struct{ one, two Point }
-	pairs, err := parallel.Map(Workers, ns, func(i, n int) (pair, error) {
-		sw1 := core.NewSwitch(n, n, core.AggregateClass{
-			Name: "rho1", A: 1, AlphaTilde: rows[i].Rho1, Mu: 1,
-		})
-		res1, err := core.Solve(sw1)
-		if err != nil {
-			return pair{}, err
-		}
-		sw2 := core.NewSwitch(n, n, core.AggregateClass{
-			Name: "rho2", A: 2, AlphaTilde: rows[i].Rho2, Mu: 1,
-		})
-		res2, err := core.Solve(sw2)
-		if err != nil {
-			return pair{}, err
-		}
-		return pair{
-			one: Point{N: n, Value: res1.Blocking[0]},
-			two: Point{N: n, Value: res2.Blocking[0]},
-		}, nil
+	rowOf := make(map[int]Table1Row, len(ns))
+	for _, row := range Table1(ns) {
+		rowOf[row.N] = row
+	}
+	return figureGrid(ns, []seriesSpec{
+		{label: "a=1", build: func(n int) core.Switch {
+			return core.NewSwitch(n, n, core.AggregateClass{
+				Name: "rho1", A: 1, AlphaTilde: rowOf[n].Rho1, Mu: 1,
+			})
+		}},
+		{label: "a=2", build: func(n int) core.Switch {
+			return core.NewSwitch(n, n, core.AggregateClass{
+				Name: "rho2", A: 2, AlphaTilde: rowOf[n].Rho2, Mu: 1,
+			})
+		}},
 	})
-	if err != nil {
-		return nil, err
-	}
-	one := Series{Label: "a=1", Points: make([]Point, len(pairs))}
-	two := Series{Label: "a=2", Points: make([]Point, len(pairs))}
-	for i, p := range pairs {
-		one.Points[i], two.Points[i] = p.one, p.two
-	}
-	return []Series{one, two}, nil
 }
 
 // Table2Params is one of the paper's three Table 2 parameter sets.
