@@ -108,6 +108,24 @@ func pointError(i int, err error) error {
 	return err
 }
 
+// gridRow builds one grid response row. Like sweepRow, it copies the
+// measure slices out of the entry-owned memoized Result: the rows are
+// serialized after the entry has been unlocked and released, so views
+// into the memo would escape the entry's lifecycle.
+func gridRow(n1, n2 int, res *core.Result, weights []float64) GridResult {
+	gr := GridResult{
+		N1:          n1,
+		N2:          n2,
+		Blocking:    copyFloats(res.Blocking),
+		Concurrency: copyFloats(res.Concurrency),
+	}
+	if weights != nil {
+		wv := res.Revenue(weights)
+		gr.W = &wv
+	}
+	return gr
+}
+
 // gridGroup is one distinct canonical class set of a grid request: all
 // its points are read off one cache entry filled at the componentwise
 // maximum dimensions.
@@ -188,18 +206,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) error {
 		}
 		resp.Method = e.result().Method
 		for _, i := range g.members {
-			res := e.resultAt(points[i].N1, points[i].N2)
-			gr := GridResult{
-				N1:          points[i].N1,
-				N2:          points[i].N2,
-				Blocking:    res.Blocking,
-				Concurrency: res.Concurrency,
-			}
-			if req.Weights != nil {
-				wv := res.Revenue(req.Weights)
-				gr.W = &wv
-			}
-			resp.Results[i] = gr
+			resp.Results[i] = gridRow(points[i].N1, points[i].N2, e.resultAt(points[i].N1, points[i].N2), req.Weights)
 		}
 		e.unlock()
 		s.cache.release(e)

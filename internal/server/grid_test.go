@@ -191,3 +191,30 @@ func TestGridValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRowsCopyMeasures pins the response-row copy discipline: grid and
+// sweep rows are serialized after their cache entry is unlocked and
+// released, while the sweep layers memoize ResultAt reads, so a row
+// holding views into the Result would alias a pooled entry's lattice
+// memo past its lifecycle. The rows must carry copies.
+func TestRowsCopyMeasures(t *testing.T) {
+	res, err := core.Solve(paperSwitch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := []float64{1}
+	gr := gridRow(4, 4, res, weights)
+	sr := sweepRow(4, 4, res, weights)
+	wantB, wantC := gr.Blocking[0], gr.Concurrency[0]
+	res.Blocking[0] = -1
+	res.Concurrency[0] = -1
+	if gr.Blocking[0] != wantB || gr.Concurrency[0] != wantC {
+		t.Errorf("grid row aliases the Result's measure slices")
+	}
+	if sr.Blocking[0] != wantB || sr.Concurrency[0] != wantC {
+		t.Errorf("sweep row aliases the Result's measure slices")
+	}
+	if gr.W == nil || sr.W == nil {
+		t.Fatalf("weighted rows missing W")
+	}
+}

@@ -139,6 +139,15 @@ type ClassResult struct {
 	Throughput  float64 `json:"throughput"`
 }
 
+// copyFloats clones one measure slice out of a solver Result. The
+// sweep layers memoize ResultAt reads, so a Result read off a cached
+// entry shares its slices with the entry's lattice memo; response
+// documents must carry copies, never views, or the data escapes the
+// entry's lock-and-release lifecycle (see gridRow).
+func copyFloats(xs []float64) []float64 {
+	return append([]float64(nil), xs...)
+}
+
 func classResults(spec SwitchSpec, res *core.Result) []ClassResult {
 	out := make([]ClassResult, len(res.Blocking))
 	for i := range out {
@@ -491,21 +500,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 	resp := SweepResponse{N1: sw.N1, N2: sw.N2, Cached: cached, Results: make([]SweepResult, len(points))}
 	resp.Method = e.result().Method
 	for i, p := range points {
-		res := e.resultAt(p.N1, p.N2)
-		sr := SweepResult{
-			N1:          p.N1,
-			N2:          p.N2,
-			Blocking:    res.Blocking,
-			Concurrency: res.Concurrency,
-		}
-		if req.Weights != nil {
-			wv := res.Revenue(req.Weights)
-			sr.W = &wv
-		}
-		resp.Results[i] = sr
+		resp.Results[i] = sweepRow(p.N1, p.N2, e.resultAt(p.N1, p.N2), req.Weights)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 	return nil
+}
+
+// sweepRow builds one sweep response row. The measure slices are
+// copied out of the (entry-owned, memoized) Result so the row stays
+// valid after the entry is unlocked and released.
+func sweepRow(n1, n2 int, res *core.Result, weights []float64) SweepResult {
+	sr := SweepResult{
+		N1:          n1,
+		N2:          n2,
+		Blocking:    copyFloats(res.Blocking),
+		Concurrency: copyFloats(res.Concurrency),
+	}
+	if weights != nil {
+		wv := res.Revenue(weights)
+		sr.W = &wv
+	}
+	return sr
 }
 
 // withEntry acquires a solver slot and resolves the cache entry for
