@@ -58,6 +58,9 @@ type Pass struct {
 	ImportPath string
 	Pkg        *types.Package
 	Info       *types.Info
+	// Dep resolves already-loaded module-internal dependencies (may be
+	// nil); see Package.Dep.
+	Dep func(importPath string) *Package
 
 	allow *allowIndex
 	out   *[]Diagnostic
@@ -83,11 +86,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxFlow,
 		DetRand,
 		ErrcheckLite,
 		FloatCmp,
+		GoLeak,
 		LibPanic,
+		LockOrder,
 		NaNGuard,
+		ReuseCheck,
 		WaitCheck,
 	}
 }
@@ -115,6 +122,7 @@ func Run(pkg *Package, as []*Analyzer) []Diagnostic {
 			ImportPath: pkg.ImportPath,
 			Pkg:        pkg.Types,
 			Info:       pkg.Info,
+			Dep:        pkg.Dep,
 			allow:      allow,
 			out:        &diags,
 		}

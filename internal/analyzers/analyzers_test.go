@@ -148,6 +148,38 @@ func TestWaitCheckGolden(t *testing.T) {
 	golden(t, WaitCheck, "waitcheck", "xbar/internal/fixtures/waitcheck")
 }
 
+func TestLockOrderGolden(t *testing.T) {
+	golden(t, LockOrder, "lockorder", "xbar/internal/fixtures/lockorder")
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	golden(t, GoLeak, "goleak", "xbar/internal/fixtures/goleak")
+}
+
+func TestReuseCheckGolden(t *testing.T) {
+	golden(t, ReuseCheck, "reusecheck", "xbar/internal/fixtures/reusecheck")
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	golden(t, CtxFlow, "ctxflow", "xbar/internal/server")
+}
+
+func TestCtxFlowScopedToServerAndParallel(t *testing.T) {
+	// The same fixture loaded under an unscoped path reports nothing:
+	// ctxflow only polices the server and parallel packages.
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirAs(filepath.Join("testdata", "src", "ctxflow"), "xbar/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(pkg, []*Analyzer{CtxFlow}); len(diags) != 0 {
+		t.Errorf("ctxflow fired outside its scoped packages: %v", diags)
+	}
+}
+
 func TestByNameAndAll(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {
@@ -165,7 +197,10 @@ func TestByNameAndAll(t *testing.T) {
 	if ByName("nope") != nil {
 		t.Error("ByName(nope) != nil")
 	}
-	for _, expect := range []string{"floatcmp", "detrand", "libpanic", "nanguard", "errcheck"} {
+	for _, expect := range []string{
+		"floatcmp", "detrand", "libpanic", "nanguard", "errcheck",
+		"lockorder", "goleak", "reusecheck", "ctxflow", "waitcheck",
+	} {
 		if !names[expect] {
 			t.Errorf("missing analyzer %q", expect)
 		}

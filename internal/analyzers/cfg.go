@@ -1,0 +1,381 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the bottom half of xbarlint's flow-sensitive tier: an
+// intraprocedural control-flow graph over a function body's statement
+// list. The graph is deliberately small — basic blocks hold ast.Node
+// slices in source order, edges are successor pointers — because the
+// checks built on it (lockorder, goleak, reusecheck) only need forward
+// reachability and a fixpoint over block entry states, not SSA.
+//
+// Modeling choices, all conservative for the checks we run:
+//
+//   - A return statement edges to the synthetic exit block; the
+//     statements after it in the same block list are unreachable and
+//     land in a successor-less dead block.
+//   - A call to the builtin panic terminates its block with no
+//     successors: panicking paths do not reach exit, so a held lock or
+//     pooled value on a pure panic path is not reported.
+//   - `for { ... }` with no condition gets no edge to the statement
+//     after the loop; exit stays reachable only through break or
+//     return. goleak's spin-loop rule is exactly "exit unreachable".
+//   - select{} with no cases blocks forever: no successors.
+//   - goto edges to exit (not to its label). This overapproximates
+//     where control can go and is the one place the CFG is wrong on
+//     purpose; the module does not use goto.
+//   - Function literals are NOT inlined. Their bodies get their own
+//     CFGs via cfgForFuncs; the enclosing graph treats the literal as
+//     an opaque value.
+//
+// Falling off the end of a function is represented by a synthetic
+// implicitReturn node placed at the body's closing brace, so checks
+// can report "returns with X held" at a real position even when there
+// is no return statement.
+
+// cfgBlock is one basic block: nodes in source order, then successor
+// edges. Nodes are statements and, for conditionals, the condition
+// expression (so transfer functions see it evaluated before the
+// branch).
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is one function body's graph.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// implicitReturn is the synthetic node appended on the fall-off-the-
+// end path. It implements ast.Node so it can live in a block's node
+// list; checks type-switch on it to report at the closing brace.
+type implicitReturn struct{ rbrace token.Pos }
+
+func (r *implicitReturn) Pos() token.Pos { return r.rbrace }
+func (r *implicitReturn) End() token.Pos { return r.rbrace + 1 }
+
+// cfgBuilder carries the loop/label context during construction.
+type cfgBuilder struct {
+	g *funcCFG
+	// breakTo / continueTo map the innermost (and labeled) loop or
+	// switch targets. The empty label "" is the innermost target.
+	breakTo    map[string]*cfgBlock
+	continueTo map[string]*cfgBlock
+	// labels records the label attached to a loop statement by its
+	// enclosing LabeledStmt, so the loop can register labeled
+	// break/continue targets.
+	labels map[ast.Stmt]string
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	g.exit = &cfgBlock{}
+	b := &cfgBuilder{
+		g:          g,
+		breakTo:    make(map[string]*cfgBlock),
+		continueTo: make(map[string]*cfgBlock),
+		labels:     make(map[ast.Stmt]string),
+	}
+	g.entry = b.newBlock()
+	last := b.stmts(g.entry, body.List)
+	if last != nil {
+		// Fall off the end: synthesize the implicit return.
+		last.nodes = append(last.nodes, &implicitReturn{rbrace: body.Rbrace})
+		b.edge(last, g.exit)
+	}
+	g.blocks = append(g.blocks, g.exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// stmts threads a statement list through cur, returning the block
+// holding the fall-through continuation (nil when the list ends in a
+// terminator such as return, panic, or an infinite loop).
+func (b *cfgBuilder) stmts(cur *cfgBlock, list []ast.Stmt) *cfgBlock {
+	for i, s := range list {
+		cur = b.stmt(cur, s)
+		if cur == nil {
+			// Unreachable remainder: park it in a dead block with no
+			// predecessors so positions still exist, then stop.
+			if i+1 < len(list) {
+				dead := b.newBlock()
+				b.stmts(dead, list[i+1:])
+			}
+			return nil
+		}
+	}
+	return cur
+}
+
+// stmt adds one statement to cur, returning the continuation block
+// (often cur itself), or nil if s terminates control flow.
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.g.exit)
+		return nil
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isBuiltinPanic(call) {
+			return nil
+		}
+		return cur
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+			if cur == nil {
+				return nil
+			}
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		if t := b.stmts(then, s.Body.List); t != nil {
+			b.edge(t, after)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			if e := b.stmt(els, s.Else); e != nil {
+				b.edge(e, after)
+			}
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+			if cur == nil {
+				return nil
+			}
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			b.edge(head, after)
+		}
+		// `for {}`: no head→after edge; after is reachable only via
+		// break.
+		b.edge(head, body)
+		prevBreak, prevCont := b.breakTo[""], b.continueTo[""]
+		b.breakTo[""], b.continueTo[""] = after, head
+		lbl := b.labels[s]
+		if lbl != "" {
+			b.breakTo[lbl], b.continueTo[lbl] = after, head
+		}
+		if t := b.stmts(body, s.Body.List); t != nil {
+			if s.Post != nil {
+				t = b.stmt(t, s.Post)
+			}
+			if t != nil {
+				b.edge(t, head)
+			}
+		}
+		b.breakTo[""], b.continueTo[""] = prevBreak, prevCont
+		if lbl != "" {
+			delete(b.breakTo, lbl)
+			delete(b.continueTo, lbl)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		cur.nodes = append(cur.nodes, s.X)
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(cur, head)
+		b.edge(head, after) // range may iterate zero times
+		b.edge(head, body)
+		prevBreak, prevCont := b.breakTo[""], b.continueTo[""]
+		b.breakTo[""], b.continueTo[""] = after, head
+		lbl := b.labels[s]
+		if lbl != "" {
+			b.breakTo[lbl], b.continueTo[lbl] = after, head
+		}
+		if t := b.stmts(body, s.Body.List); t != nil {
+			b.edge(t, head)
+		}
+		b.breakTo[""], b.continueTo[""] = prevBreak, prevCont
+		if lbl != "" {
+			delete(b.breakTo, lbl)
+			delete(b.continueTo, lbl)
+		}
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, body = sw.Init, sw.Body
+			if sw.Tag != nil {
+				cur.nodes = append(cur.nodes, sw.Tag)
+			}
+		case *ast.TypeSwitchStmt:
+			init, body = sw.Init, sw.Body
+		}
+		if init != nil {
+			cur = b.stmt(cur, init)
+			if cur == nil {
+				return nil
+			}
+		}
+		after := b.newBlock()
+		prevBreak := b.breakTo[""]
+		b.breakTo[""] = after
+		hasDefault := false
+		for _, cc := range body.List {
+			clause := cc.(*ast.CaseClause)
+			if clause.List == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			blk.nodes = append(blk.nodes, clause)
+			if t := b.stmts(blk, clause.Body); t != nil {
+				b.edge(t, after)
+			}
+		}
+		if !hasDefault {
+			b.edge(cur, after)
+		}
+		b.breakTo[""] = prevBreak
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		prevBreak := b.breakTo[""]
+		b.breakTo[""] = after
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever.
+			b.breakTo[""] = prevBreak
+			return nil
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			blk.nodes = append(blk.nodes, clause)
+			if t := b.stmts(blk, clause.Body); t != nil {
+				b.edge(t, after)
+			}
+		}
+		b.breakTo[""] = prevBreak
+		return after
+
+	case *ast.BranchStmt:
+		cur.nodes = append(cur.nodes, s)
+		lbl := ""
+		if s.Label != nil {
+			lbl = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.breakTo[lbl]; t != nil {
+				b.edge(cur, t)
+			} else {
+				b.edge(cur, b.g.exit)
+			}
+		case token.CONTINUE:
+			if t := b.continueTo[lbl]; t != nil {
+				b.edge(cur, t)
+			} else {
+				b.edge(cur, b.g.exit)
+			}
+		case token.GOTO:
+			// Conservative: goto may go anywhere; route to exit.
+			b.edge(cur, b.g.exit)
+		case token.FALLTHROUGH:
+			// The next case clause's block has no edge from here in
+			// this simplified model; treat as fall-through to after,
+			// which the enclosing switch already wired. Ending the
+			// block keeps the state merge conservative.
+			return cur
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		// Record the label for its statement: loops register labeled
+		// break/continue targets when they see themselves in b.labels.
+		b.labels[s.Stmt] = s.Label.Name
+		return b.stmt(cur, s.Stmt)
+
+	default:
+		// Assignments, declarations, sends, go/defer statements,
+		// increments: straight-line nodes.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// isBuiltinPanic reports whether call is the predeclared panic.
+func isBuiltinPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+// reachable reports whether to is reachable from from along successor
+// edges.
+func reachable(from, to *cfgBlock) bool {
+	seen := make(map[*cfgBlock]bool)
+	var walk func(b *cfgBlock) bool
+	walk = func(b *cfgBlock) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// funcDecls yields every function and method declaration with a body
+// in the pass, paired with its CFG. Function literals are not
+// included; checks that need them build CFGs on demand via buildCFG.
+func funcDecls(pass *Pass, visit func(decl *ast.FuncDecl, g *funcCFG)) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd, buildCFG(fd.Body))
+		}
+	}
+}

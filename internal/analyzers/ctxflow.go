@@ -1,0 +1,180 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow polices context plumbing in the packages where dropping it
+// hurts: the HTTP server and the parallel schedulers. Scoped like
+// nanguard/detrand by import path, it reports
+//
+//   - a named context.Context parameter the function never reads —
+//     cancellation silently stops propagating there;
+//   - context.Background()/context.TODO() created inside a loop in a
+//     function that already has a context parameter — each iteration
+//     detaches from the caller's cancellation;
+//   - a select inside a loop, in a function with a context parameter,
+//     with neither a ctx.Done() case nor a default — the loop can
+//     outlive its request.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "dropped context.Context parameters and loops that ignore cancellation (server, parallel)",
+	Run:  runCtxFlow,
+}
+
+// ctxFlowPaths are the import paths the check applies to.
+var ctxFlowPaths = []string{
+	"xbar/internal/server",
+	"xbar/internal/parallel",
+}
+
+func runCtxFlow(pass *Pass) {
+	scoped := false
+	for _, p := range ctxFlowPaths {
+		if pass.ImportPath == p {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFunc(pass, fd)
+		}
+	}
+}
+
+func checkCtxFunc(pass *Pass, fd *ast.FuncDecl) {
+	ctxParams := contextParams(pass, fd.Type)
+	for obj, pos := range ctxParams {
+		if !objUsed(pass, fd.Body, obj) {
+			pass.Reportf(pos, "context parameter %s is never used; cancellation stops propagating here", obj.Name())
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	// Loop rules only apply when the function has a context to honor.
+	inspectLoops(fd.Body, func(loopBody *ast.BlockStmt) {
+		ast.Inspect(loopBody, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.Info, n); isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+					pass.Reportf(n.Pos(), "context.%s created inside a loop; derive from the function's context instead", fn.Name())
+				}
+			case *ast.SelectStmt:
+				if !selectHonorsCtx(pass, n, ctxParams) {
+					pass.Reportf(n.Pos(), "select in a loop has no ctx.Done() case and no default; the loop can outlive its context")
+				}
+				return false // nested selects judged on their own
+			}
+			return true
+		})
+	})
+}
+
+// contextParams collects the named context.Context parameters.
+func contextParams(pass *Pass, ft *ast.FuncType) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil || !isContextType(obj.Type()) {
+				continue
+			}
+			out[obj] = name.Pos()
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// objUsed reports whether obj is referenced anywhere in body.
+func objUsed(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// inspectLoops visits every for/range body in body, including nested
+// ones, staying out of function literals (their context discipline is
+// their own).
+func inspectLoops(body *ast.BlockStmt, visit func(*ast.BlockStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			visit(n.Body)
+		case *ast.RangeStmt:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// selectHonorsCtx reports whether sel has a default case or any comm
+// clause mentioning a context parameter or a Done() call.
+func selectHonorsCtx(pass *Pass, sel *ast.SelectStmt, ctxParams map[types.Object]token.Pos) bool {
+	for _, cc := range sel.Body.List {
+		clause, ok := cc.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if clause.Comm == nil {
+			return true // default: the loop polls, it does not block
+		}
+		honors := false
+		ast.Inspect(clause.Comm, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pass.Info.Uses[n]; obj != nil {
+					if _, ok := ctxParams[obj]; ok {
+						honors = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if n.Sel.Name == "Done" || strings.HasSuffix(n.Sel.Name, "Done") {
+					honors = true
+				}
+			}
+			return !honors
+		})
+		if honors {
+			return true
+		}
+	}
+	return false
+}

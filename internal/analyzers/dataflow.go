@@ -1,0 +1,84 @@
+package analyzers
+
+import "go/ast"
+
+// dataflow is a generic forward problem over a funcCFG. S is the
+// per-program-point state (typically a small map). The engine owns
+// nothing about the lattice beyond what these hooks express:
+//
+//   - bottom() is the entry state of the function.
+//   - clone(s) deep-copies a state so transfer can mutate freely.
+//   - join(a, b) merges two predecessor states into a fresh state.
+//     The engine seeds a block's in-state with a clone of the first
+//     state to reach it and joins subsequent arrivals, so join always
+//     receives two real states — the same hook serves may-problems
+//     (union) and must-problems (intersection) without an explicit
+//     top element.
+//   - equal(a, b) detects the fixpoint.
+//   - transfer(s, n) applies one node's effect in place. It must not
+//     report: the engine re-runs transfer during the visit pass, so
+//     reports would double.
+//
+// After the fixpoint, visit(n, before) is called for every node of
+// every reachable block with the state holding immediately before the
+// node — the hook where checks report.
+type dataflow[S any] struct {
+	bottom   func() S
+	clone    func(S) S
+	join     func(S, S) S
+	equal    func(S, S) bool
+	transfer func(S, ast.Node)
+}
+
+// runForward iterates to fixpoint, then replays each reachable block
+// for reporting.
+func runForward[S any](g *funcCFG, d dataflow[S], visit func(n ast.Node, before S)) {
+	in := make(map[*cfgBlock]S)
+	have := make(map[*cfgBlock]bool)
+	in[g.entry] = d.bottom()
+	have[g.entry] = true
+
+	work := []*cfgBlock{g.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		s := d.clone(in[b])
+		for _, n := range b.nodes {
+			d.transfer(s, n)
+		}
+		for _, succ := range b.succs {
+			var merged S
+			if have[succ] {
+				merged = d.join(in[succ], s)
+				if d.equal(merged, in[succ]) {
+					continue
+				}
+			} else {
+				merged = d.clone(s)
+				have[succ] = true
+			}
+			in[succ] = merged
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	if visit == nil {
+		return
+	}
+	for _, b := range g.blocks {
+		if !have[b] {
+			continue // unreachable (dead code after return/panic)
+		}
+		s := d.clone(in[b])
+		for _, n := range b.nodes {
+			visit(n, s)
+			d.transfer(s, n)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags goroutines with no way out:
+//
+//   - a spawned function literal whose CFG can never reach its exit
+//     (an unconditional spin loop) and that performs no channel or
+//     context operation — nothing can ever stop it;
+//   - a send on an unbuffered locally-made channel from inside a
+//     spawned literal when the spawning function can return before
+//     any receive: the sender blocks forever and the goroutine (plus
+//     everything it pins) leaks.
+//
+// The second rule is deliberately syntactic about ordering — a return
+// statement strictly between the go statement and the first receive in
+// source order — because the repo's legitimate handshakes (the
+// wavefront pool's unbuffered done channel) interleave spawn and
+// receive with no early exit between them, while the leak shape
+// (spawn, early-return on error, receive) reads top to bottom. A
+// channel that escapes through a call, return, or store is assumed
+// received elsewhere.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines without a termination path and unbuffered sends that can block forever",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	funcDecls(pass, func(decl *ast.FuncDecl, g *funcCFG) {
+		body := decl.Body
+		// Rule 1: spin goroutines, anywhere in the body (including
+		// inside other literals).
+		ast.Inspect(body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			cfg := buildCFG(lit.Body)
+			if !reachable(cfg.entry, cfg.exit) && !hasEscapeOp(pass, lit.Body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine never terminates: no return path and no channel, select, or context operation")
+			}
+			return true
+		})
+		// Rule 2: blocked unbuffered sends, at the top level of this
+		// function body.
+		checkUnbufferedSends(pass, body)
+	})
+}
+
+// hasEscapeOp reports whether body contains any operation that could
+// let the goroutine block, observe cancellation, or be stopped: a
+// channel send/receive/range/select, or a call on a context.Context.
+func hasEscapeOp(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanType(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// chanUse summarizes how one locally-made unbuffered channel is used
+// inside a function body.
+type chanUse struct {
+	sends    []*ast.SendStmt // sends inside spawned literals, outside select
+	recvs    []token.Pos     // receives anywhere (any goroutine unblocks the sender)
+	returns  []token.Pos     // top-level returns (not inside literals)
+	goEnds   []token.Pos     // end positions of the go statements containing sends
+	escapes  bool
+	closed   bool
+	spawnPos token.Pos
+}
+
+// checkUnbufferedSends applies rule 2 to one function body.
+func checkUnbufferedSends(pass *Pass, body *ast.BlockStmt) {
+	// Locally-made unbuffered channels: ch := make(chan T) (or an
+	// explicit constant-zero capacity).
+	unbuffered := make(map[types.Object]*chanUse)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isUnbufferedMake(pass, rhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				unbuffered[obj] = &chanUse{}
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+
+	lookup := func(expr ast.Expr) *chanUse {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return nil
+		}
+		return unbuffered[obj]
+	}
+
+	// One walk classifying every use; the parameters track whether the
+	// walk is inside a spawned literal, a select, or any literal.
+	var walk func(n ast.Node, inGo *ast.GoStmt, inSelect, inLit bool)
+	walk = func(n ast.Node, inGo *ast.GoStmt, inSelect, inLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				if m != n {
+					walk(m.Call, m, inSelect, true)
+					return false
+				}
+			case *ast.SelectStmt:
+				if m != n {
+					walk(m.Body, inGo, true, inLit)
+					return false
+				}
+			case *ast.FuncLit:
+				if m != n {
+					walk(m.Body, inGo, inSelect, true)
+					return false
+				}
+			case *ast.SendStmt:
+				if u := lookup(m.Chan); u != nil && inGo != nil && !inSelect {
+					u.sends = append(u.sends, m)
+					u.goEnds = append(u.goEnds, inGo.End())
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					if u := lookup(m.X); u != nil {
+						u.recvs = append(u.recvs, m.Pos())
+					}
+				}
+			case *ast.RangeStmt:
+				if u := lookup(m.X); u != nil {
+					u.recvs = append(u.recvs, m.Pos())
+				}
+			case *ast.ReturnStmt:
+				for _, res := range m.Results {
+					if u := lookup(res); u != nil {
+						u.escapes = true // handed to the caller; received elsewhere
+					}
+				}
+				if inGo == nil && !inLit {
+					for u := range iterUses(unbuffered) {
+						u.returns = append(u.returns, m.Pos())
+					}
+				}
+			case *ast.CallExpr:
+				// close(ch) terminates receivers, not senders; any other
+				// call taking the channel is an escape.
+				for _, arg := range m.Args {
+					if u := lookup(arg); u != nil {
+						if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Obj == nil &&
+							(id.Name == "close" || id.Name == "len" || id.Name == "cap") {
+							if id.Name == "close" {
+								u.closed = true
+							}
+							continue
+						}
+						u.escapes = true
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range m.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					if u := lookup(elt); u != nil {
+						u.escapes = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, nil, false, false)
+
+	for _, u := range unbuffered {
+		if u.escapes || len(u.sends) == 0 {
+			continue
+		}
+		for i, send := range u.sends {
+			goEnd := u.goEnds[i]
+			// First receive after the spawn, in source order.
+			var firstRecv token.Pos = token.NoPos
+			for _, r := range u.recvs {
+				if r > goEnd && (firstRecv == token.NoPos || r < firstRecv) {
+					firstRecv = r
+				}
+			}
+			if firstRecv == token.NoPos {
+				if len(u.recvs) == 0 {
+					pass.Reportf(send.Pos(),
+						"send on unbuffered channel with no receive in scope; the goroutine blocks forever")
+				}
+				// Receives exist only before the spawn (loop shapes):
+				// assume the loop services it.
+				continue
+			}
+			for _, ret := range u.returns {
+				if ret > goEnd && ret < firstRecv {
+					pass.Reportf(send.Pos(),
+						"send on unbuffered channel can block forever: the function can return at %s before the receive at %s",
+						pass.Fset.Position(ret), pass.Fset.Position(firstRecv))
+					break
+				}
+			}
+		}
+	}
+}
+
+// iterUses adapts the map for the classifying walk.
+func iterUses(m map[types.Object]*chanUse) map[*chanUse]bool {
+	out := make(map[*chanUse]bool, len(m))
+	for _, u := range m {
+		out[u] = true
+	}
+	return out
+}
+
+// isUnbufferedMake matches make(chan T) and make(chan T, 0) with a
+// constant zero capacity.
+func isUnbufferedMake(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || id.Obj != nil || len(call.Args) == 0 {
+		return false
+	}
+	tv0, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv0.Type == nil {
+		return false
+	}
+	if _, ok := tv0.Type.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	tv, ok := pass.Info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}

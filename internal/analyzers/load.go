@@ -26,6 +26,12 @@ type Package struct {
 	// runs — the type information is simply incomplete where they
 	// occurred — but callers may want to surface them.
 	TypeErrors []error
+	// Dep resolves an already-loaded module-internal dependency by
+	// import path (nil function, or nil result, when unavailable).
+	// Checks use it to read directives such as //lint:pooled off the
+	// declarations of cross-package callees; positions are comparable
+	// because every package of a loader shares one FileSet.
+	Dep func(importPath string) *Package
 }
 
 // Loader parses and type-checks packages of a single module, using
@@ -39,6 +45,7 @@ type Loader struct {
 	Fset    *token.FileSet
 
 	byDir    map[string]*Package
+	byPath   map[string]*Package
 	loading  map[string]bool
 	fallback types.Importer
 }
@@ -59,6 +66,7 @@ func NewLoader(startDir string) (*Loader, error) {
 		ModPath:  modPath,
 		Fset:     token.NewFileSet(),
 		byDir:    make(map[string]*Package),
+		byPath:   make(map[string]*Package),
 		loading:  make(map[string]bool),
 		fallback: importer.Default(),
 	}, nil
@@ -236,7 +244,9 @@ func (l *Loader) LoadDirAs(dir, importPath string) (*Package, error) {
 	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
 	pkg.Types = tpkg
 	pkg.Info = info
+	pkg.Dep = func(path string) *Package { return l.byPath[path] }
 	l.byDir[abs] = pkg
+	l.byPath[importPath] = pkg
 	return pkg, nil
 }
 

@@ -1,0 +1,58 @@
+// Package server exercises the ctxflow analyzer (the fixture loads
+// under xbar/internal/server, one of the check's scoped paths).
+package server
+
+import "context"
+
+func process(ctx context.Context, xs []float64) float64 { // want "never used"
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+//lint:allow ctxflow reserved for a future cancellation hook
+func reserved(ctx context.Context, n int) int {
+	return n + 1
+}
+
+func detached(ctx context.Context, items []int) {
+	if ctx.Err() != nil {
+		return
+	}
+	for range items {
+		sink(context.Background()) // want "created inside a loop"
+	}
+}
+
+func sink(ctx context.Context) { <-ctx.Done() }
+
+func deaf(ctx context.Context, in <-chan int) {
+	if ctx.Err() != nil {
+		return
+	}
+	for {
+		select { // want "no ctx.Done"
+		case v, ok := <-in:
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}
+}
+
+func politeOK(ctx context.Context, in <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v, ok := <-in:
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}
+}

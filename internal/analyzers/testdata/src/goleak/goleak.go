@@ -1,0 +1,65 @@
+// Package goleak exercises the goleak analyzer: spin goroutines with
+// no way out and unbuffered sends that can block forever.
+package goleak
+
+import "errors"
+
+var errBusy = errors.New("busy")
+
+func spin() {
+	go func() { // want "goroutine never terminates"
+		for {
+		}
+	}()
+}
+
+func spinAllowed() {
+	//lint:allow goleak busy-wait probe, stopped by process exit
+	go func() {
+		for {
+		}
+	}()
+}
+
+func blockedSend(fail bool) error {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want "can block forever"
+	}()
+	if fail {
+		return errBusy
+	}
+	<-ch
+	return nil
+}
+
+func noReceive() {
+	done := make(chan struct{})
+	go func() {
+		done <- struct{}{} // want "no receive in scope"
+	}()
+}
+
+func handshakeOK(n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func escapesOK() chan int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return ch
+}
+
+func bufferedOK() error {
+	errc := make(chan error, 1)
+	go func() { errc <- nil }()
+	return <-errc
+}

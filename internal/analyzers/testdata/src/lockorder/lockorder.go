@@ -1,0 +1,71 @@
+// Package lockorder exercises the lockorder analyzer: early returns
+// with a mutex held, double acquisition, and ABBA order inversion.
+package lockorder
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func missingUnlock(b *box, bad bool) int {
+	b.mu.Lock()
+	if bad {
+		return -1 // want "return with b.mu held"
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func leakAtEnd(b *box) {
+	b.mu.Lock()
+	b.n++
+} // want "return with b.mu held"
+
+func doubleLock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want "acquired while already held"
+	b.mu.Unlock()
+}
+
+func deferOK(b *box, bad bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bad {
+		return -1
+	}
+	return b.n
+}
+
+func readersOK(b *box) int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want "lock order inversion"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock() // want "lock order inversion"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+func handoffLocked(b *box) {
+	b.mu.Lock()
+	//lint:allow lockorder the caller unlocks by contract
+	return
+}

@@ -130,6 +130,8 @@ func NewSweepSolver(sw Switch, opts ...Options) (*SweepSolver, error) {
 // ready for Reuse, mirroring Solver — the admission-control server's
 // solver cache recycles evicted sweep solvers this way instead of
 // allocating fresh lattices per cache miss.
+//
+//lint:pooled recv — refilling invalidates Results previously read off this solver
 func (s *SweepSolver) Reuse(sw Switch, opts ...Options) error {
 	if s.solver == nil {
 		s.solver = &Solver{}
@@ -164,6 +166,8 @@ func NewMVASweepSolver(sw Switch, opts ...Options) (*MVASweepSolver, error) {
 // lattices through MVASolver.Reuse and resetting the memoized reads.
 // The zero value of MVASweepSolver is ready for Reuse, same contract
 // as SweepSolver.Reuse.
+//
+//lint:pooled recv — refilling invalidates Results previously read off this solver
 func (s *MVASweepSolver) Reuse(sw Switch, opts ...Options) error {
 	if s.solver == nil {
 		s.solver = &MVASolver{}

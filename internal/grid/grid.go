@@ -182,6 +182,10 @@ func (e *Engine) takeSolver() *core.Solver {
 	return &core.Solver{}
 }
 
+// putSolver hands a solver back to the free pool; the caller must not
+// touch it (or results read off it) afterwards.
+//
+//lint:pooled
 func (e *Engine) putSolver(s *core.Solver) {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -226,13 +226,18 @@ func (c *solverCache) get(ctx context.Context, alg string, sw core.Switch) (e *s
 }
 
 // release returns a reference taken by get. The last release of an
-// entry that was evicted while referenced recycles its lattice.
+// entry that was evicted while referenced recycles its lattice — the
+// caller must not read the entry (or Results served off it) after
+// releasing.
+//
+//lint:pooled
 func (c *solverCache) release(e *solverEntry) {
 	c.lock()
 	c.releaseLocked(e)
 	c.unlock()
 }
 
+//lint:pooled
 func (c *solverCache) releaseLocked(e *solverEntry) {
 	e.refs--
 	if e.refs == 0 && e.doomed {
@@ -261,6 +266,8 @@ func (c *solverCache) evictLocked() {
 }
 
 // recycleLocked returns an evicted entry's solver to its free pool.
+//
+//lint:pooled
 func (c *solverCache) recycleLocked(e *solverEntry) {
 	switch {
 	case e.sweep != nil && len(c.freeAlg1) < maxFreeSolvers:
