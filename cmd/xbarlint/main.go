@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xbarlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -37,6 +38,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		checks   = fs.String("checks", "", "comma-separated check IDs to run (default: all)")
 		disable  = fs.String("disable", "", "comma-separated check IDs to skip")
 		list     = fs.Bool("list", false, "list available checks and exit")
+		fix      = fs.Bool("fix", false, "apply machine-suggested fixes in place (currently: floatcmp zero comparisons)")
 		typeErrs = fs.Bool("typeerrors", false, "also print soft type-checking errors to stderr")
 	)
 	fs.Usage = func() {
@@ -92,6 +94,23 @@ func run(args []string, stdout, stderr *os.File) int {
 			d.File = relPath(cwd, d.File)
 			all = append(all, d)
 		}
+	}
+
+	if *fix {
+		applied, err := analyzers.ApplyFixes(all)
+		if err != nil {
+			fmt.Fprintln(stderr, "xbarlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "xbarlint: applied %d fix(es)\n", applied)
+		// Fixed diagnostics are resolved; report only what remains.
+		var remaining []analyzers.Diagnostic
+		for _, d := range all {
+			if d.Fix == nil {
+				remaining = append(remaining, d)
+			}
+		}
+		all = remaining
 	}
 
 	if *jsonOut {

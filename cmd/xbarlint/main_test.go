@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,24 +11,13 @@ import (
 	"xbar/internal/analyzers"
 )
 
-// capture runs run() with stdout and stderr redirected to temp files
-// and returns the exit code and captured stdout.
+// capture runs run() against in-memory writers and returns the exit
+// code and captured stdout.
 func capture(t *testing.T, args ...string) (int, string) {
 	t.Helper()
-	out, err := os.CreateTemp(t.TempDir(), "out")
-	if err != nil {
-		t.Fatal(err)
-	}
-	errf, err := os.CreateTemp(t.TempDir(), "err")
-	if err != nil {
-		t.Fatal(err)
-	}
-	code := run(args, out, errf)
-	data, err := os.ReadFile(out.Name())
-	if err != nil {
-		t.Fatal(err)
-	}
-	return code, string(data)
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String()
 }
 
 // fixture returns a module-relative path to a golden-test fixture dir.
@@ -100,10 +90,71 @@ func TestListChecks(t *testing.T) {
 	if code != 0 {
 		t.Errorf("-list exit = %d, want 0", code)
 	}
-	for _, name := range []string{"floatcmp", "detrand", "libpanic", "nanguard", "errcheck", "waitcheck"} {
+	for _, name := range []string{
+		"floatcmp", "detrand", "libpanic", "nanguard", "errcheck", "waitcheck",
+		"lockorder", "goleak", "reusecheck", "ctxflow",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %q:\n%s", name, out)
 		}
+	}
+}
+
+// TestFixZeroCompare drives -fix end to end on a scratch copy of the
+// fixdemo fixture and pins the rewritten file against its golden.
+func TestFixZeroCompare(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(fixture(t, "fixdemo"), "fixdemo.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	target := filepath.Join(dir, "fixdemo.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _ := capture(t, "-fix", "-checks", "floatcmp", dir)
+	if code != 0 {
+		t.Errorf("-fix exit = %d, want 0 (every diagnostic is fixable)", code)
+	}
+
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(fixture(t, "fixdemo"), "fixdemo.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fixed file does not match golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The rewritten package must be lint-clean on re-run.
+	if code, out := capture(t, "-checks", "floatcmp", dir); code != 0 {
+		t.Errorf("re-lint after -fix: exit %d, want 0\n%s", code, out)
+	}
+}
+
+// TestJSONSnapshot pins the full -json wire format — including the
+// fix objects — against a stored snapshot, with the module root
+// normalized out of paths.
+func TestJSONSnapshot(t *testing.T) {
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out := capture(t, "-json", "-checks", "floatcmp", fixture(t, "fixdemo"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	norm := strings.ReplaceAll(out, loader.ModRoot, "$MODROOT")
+	want, err := os.ReadFile(filepath.Join("testdata", "snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm != string(want) {
+		t.Errorf("-json output drifted from testdata/snapshot.json.\n--- got ---\n%s\n--- want ---\n%s", norm, want)
 	}
 }
 

@@ -27,6 +27,9 @@ type Diagnostic struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	// Fix, when non-nil, is a machine-applicable replacement that
+	// resolves the diagnostic (applied by xbarlint -fix).
+	Fix *Fix `json:"fix,omitempty"`
 }
 
 // String renders the conventional file:line:col: check: message form.
@@ -69,6 +72,16 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless a //lint:allow directive
 // for this check covers that line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportfFix records a diagnostic carrying a machine-applicable fix
+// (see Fix and ApplyFixes); suppression works exactly as in Reportf.
+func (p *Pass) ReportfFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.allow != nil && p.allow.allows(p.Analyzer.Name, position) {
 		return
@@ -79,6 +92,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 

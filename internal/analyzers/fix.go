@@ -1,0 +1,130 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Fix is one machine-applicable edit attached to a Diagnostic: the
+// byte span [Start, End) of the diagnostic's file is replaced by New.
+// Import, when non-empty, names an import path the replacement
+// requires; ApplyFixes inserts it if the file does not already import
+// it. Offsets refer to the file as loaded, so fixes within one file
+// must be applied back to front.
+type Fix struct {
+	Start  int    `json:"start"`
+	End    int    `json:"end"`
+	New    string `json:"new"`
+	Import string `json:"import,omitempty"`
+}
+
+// ApplyFixes applies every fix carried in diags to the files on disk
+// and returns how many were applied. Within a file, fixes apply from
+// the latest span backwards so earlier offsets stay valid; a fix
+// overlapping one already applied is skipped (it was computed against
+// text that no longer exists).
+func ApplyFixes(diags []Diagnostic) (int, error) {
+	byFile := make(map[string][]*Fix)
+	for i := range diags {
+		if diags[i].Fix != nil {
+			byFile[diags[i].File] = append(byFile[diags[i].File], diags[i].Fix)
+		}
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	applied := 0
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		fixes := byFile[file]
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
+		lastStart := len(src)
+		imports := make(map[string]bool)
+		n := 0
+		for _, f := range fixes {
+			if f.Start < 0 || f.End < f.Start || f.End > len(src) {
+				return applied, fmt.Errorf("%s: fix span [%d,%d) out of range", file, f.Start, f.End)
+			}
+			if f.End > lastStart {
+				continue // overlaps an already-applied fix
+			}
+			src = append(src[:f.Start], append([]byte(f.New), src[f.End:]...)...)
+			lastStart = f.Start
+			n++
+			if f.Import != "" {
+				imports[f.Import] = true
+			}
+		}
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			src, err = ensureImport(src, p)
+			if err != nil {
+				return applied, fmt.Errorf("%s: %w", file, err)
+			}
+		}
+		if n > 0 {
+			mode := os.FileMode(0o644)
+			if st, err := os.Stat(file); err == nil {
+				mode = st.Mode().Perm()
+			}
+			if err := os.WriteFile(file, src, mode); err != nil {
+				return applied, err
+			}
+			applied += n
+		}
+	}
+	return applied, nil
+}
+
+// ensureImport returns src with the given import path present,
+// inserting it into the first import declaration (or adding one after
+// the package clause) when missing. The insertion keeps the file
+// gofmt-clean; it does not attempt goimports-style group sorting.
+func ensureImport(src []byte, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, fmt.Errorf("re-parsing after fix: %w", err)
+	}
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return src, nil
+		}
+	}
+	insert := func(off int, text string) []byte {
+		out := make([]byte, 0, len(src)+len(text))
+		out = append(out, src[:off]...)
+		out = append(out, text...)
+		out = append(out, src[off:]...)
+		return out
+	}
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			off := fset.Position(gd.Lparen).Offset + 1
+			return insert(off, "\n\t"+strconv.Quote(path)), nil
+		}
+		off := fset.Position(gd.Pos()).Offset
+		return insert(off, "import "+strconv.Quote(path)+"\n"), nil
+	}
+	off := fset.Position(f.Name.End()).Offset
+	return insert(off, "\n\nimport "+strconv.Quote(path)), nil
+}

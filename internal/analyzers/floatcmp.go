@@ -1,8 +1,11 @@
 package analyzers
 
 import (
+	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
+	"go/types"
 )
 
 // FloatCmp flags == and != between floating-point operands. Exact
@@ -33,10 +36,57 @@ func runFloatCmp(pass *Pass) {
 			if isConst(pass.Info, be.X) && isConst(pass.Info, be.Y) {
 				return true
 			}
-			pass.Reportf(be.OpPos,
+			pass.ReportfFix(be.OpPos, zeroCmpFix(pass, be),
 				"%s on float operands; use floats.AlmostEqual/Near/Zero (xbar/internal/floats) or math.IsNaN/IsInf",
 				be.Op)
 			return true
 		})
 	}
+}
+
+// zeroCmpFix builds the floats.Zero rewrite for a comparison of a
+// float64 expression against a constant zero; nil when the shape does
+// not apply. The operand must be exactly float64 (not float32, not a
+// named float type) because that is floats.Zero's parameter type.
+func zeroCmpFix(pass *Pass, be *ast.BinaryExpr) *Fix {
+	var operand ast.Expr
+	switch {
+	case isZeroConst(pass.Info, be.X) && !isConst(pass.Info, be.Y):
+		operand = be.Y
+	case isZeroConst(pass.Info, be.Y) && !isConst(pass.Info, be.X):
+		operand = be.X
+	default:
+		return nil
+	}
+	tv, ok := pass.Info.Types[operand]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if basic, ok := tv.Type.(*types.Basic); !ok || basic.Kind() != types.Float64 {
+		return nil
+	}
+	neg := ""
+	if be.Op == token.NEQ {
+		neg = "!"
+	}
+	return &Fix{
+		Start:  pass.Fset.Position(be.Pos()).Offset,
+		End:    pass.Fset.Position(be.End()).Offset,
+		New:    fmt.Sprintf("%sfloats.Zero(%s)", neg, types.ExprString(operand)),
+		Import: "xbar/internal/floats",
+	}
+}
+
+// isZeroConst reports whether expr is a compile-time numeric constant
+// equal to zero.
+func isZeroConst(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
 }

@@ -1,0 +1,22 @@
+// Package fixdemo is the -fix engine's before image: every zero
+// comparison below is rewritten to floats.Zero by xbarlint -fix, and
+// the result is pinned by fixdemo.go.golden.
+package fixdemo
+
+func residual(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x == 0.0 {
+			n++
+		}
+		if x != 0 {
+			n--
+		}
+	}
+	return n
+}
+
+func midVanishes(a, b float64) bool {
+	m := (a + b) / 2
+	return 0.0 == m
+}
