@@ -18,7 +18,7 @@ help:
 	@echo "  all          build + vet + lint + test"
 	@echo "  build        go build ./..."
 	@echo "  vet          go vet ./..."
-	@echo "  lint         project static analysis (cmd/xbarlint, docs/STATIC_ANALYSIS.md)"
+	@echo "  lint         go vet + project static analysis (cmd/xbarlint, docs/STATIC_ANALYSIS.md)"
 	@echo "  test         go test ./..."
 	@echo "  test-short   go test -short ./..."
 	@echo "  test-race    go test -race ./..."
@@ -39,8 +39,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (docs/STATIC_ANALYSIS.md).
-lint:
+# Static analysis: go vet first (stdlib checks), then the
+# project-specific checks (docs/STATIC_ANALYSIS.md).
+lint: vet
 	$(GO) run ./cmd/xbarlint ./...
 
 test:
