@@ -6,11 +6,21 @@
 //	xbarsim -n1 32 -n2 32 \
 //	        -class voice:1:0.0024:0:1 \
 //	        [-service exp|det|erlang4|hyper4|pareto2.5] \
-//	        [-horizon 200000] [-warmup 20000] [-seed 1]
+//	        [-horizon 200000] [-warmup 20000] [-seed 1] \
+//	        [-reps 8] [-workers 0] [-validate] [-max-z 3]
 //
 // The -service flag exercises the insensitivity property: any holding
 // time distribution with the same mean must reproduce the analytical
 // measures.
+//
+// With -reps R > 1 the run becomes a replication farm: R independent
+// replications on -workers goroutines (0 selects GOMAXPROCS), pooled
+// into one set of confidence intervals. The output is a pure function
+// of (seed, reps) — the worker count changes wall-clock time only.
+//
+// -validate scores every pooled estimate against the product-form
+// solver as a z-statistic and exits nonzero when max |z| exceeds
+// -max-z, which is how CI gates the engine against the paper's model.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"xbar/internal/cli"
 	"xbar/internal/core"
@@ -40,6 +51,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	warmup := fs.Float64("warmup", 20000, "discarded warmup time")
 	seed := fs.Uint64("seed", 1, "random seed")
 	service := fs.String("service", "exp", "holding time distribution: exp det erlang4 hyper4 pareto2.5")
+	reps := fs.Int("reps", 1, "independent replications to pool")
+	workers := fs.Int("workers", 0, "worker goroutines for the replication farm; 0 = GOMAXPROCS")
+	validate := fs.Bool("validate", false, "score the farm against the analytic solution and gate on -max-z")
+	maxZ := fs.Float64("max-z", 3, "largest allowed |z| between simulated and analytic measures with -validate")
 	var classes cli.ClassFlag
 	fs.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "xbarsim:", err)
 		return 1
+	}
+	if *reps < 1 {
+		return fail(fmt.Errorf("-reps must be at least 1, got %d", *reps))
 	}
 
 	if len(classes) == 0 {
@@ -72,38 +90,143 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	res, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Switch:  sw,
 		Seed:    *seed,
 		Warmup:  *warmup,
 		Horizon: *horizon,
 		Service: dists,
-	})
+	}
+	fc := sim.FarmConfig{Config: cfg, Reps: *reps, Workers: *workers}
+
+	if *validate {
+		return runValidate(fc, *maxZ, stdout, stderr)
+	}
+	if *reps > 1 {
+		return runFarm(fc, analytic, dists[0].Name(), stdout, stderr)
+	}
+
+	started := time.Now()
+	res, err := sim.Run(cfg)
 	if err != nil {
 		return fail(err)
 	}
+	elapsed := time.Since(started)
 
 	fmt.Fprintf(stdout, "%dx%d crossbar, %s service, %d events, horizon %g (+%g warmup), seed %d\n",
 		sw.N1, sw.N2, dists[0].Name(), res.Events, *horizon, *warmup, *seed)
+	fmt.Fprintf(stdout, "throughput %s events/s (%.0f ms wall)\n",
+		formatRate(float64(res.Events)/elapsed.Seconds()), elapsed.Seconds()*1000)
 	fmt.Fprintf(stdout, "mean occupancy %.4f (utilization %.4f)\n\n", res.MeanOccupancy, res.Utilization)
 	headers := []string{"class", "offered", "blocked",
 		"B time (sim)", "B (analytic)", "B call (sim)", "E (sim)", "E (analytic)"}
 	var rows [][]string
 	for i, c := range sw.Classes {
 		cr := res.Classes[i]
-		rows = append(rows, []string{
-			c.Name,
-			strconv.FormatInt(cr.Offered, 10),
-			strconv.FormatInt(cr.Blocked, 10),
-			fmt.Sprintf("%.6f ± %.6f", 1-cr.TimeNonBlocking.Mean, cr.TimeNonBlocking.HalfWidth),
-			report.FormatFloat(analytic.Blocking[i]),
-			fmt.Sprintf("%.6f ± %.6f", cr.CallBlocking.Mean, cr.CallBlocking.HalfWidth),
-			fmt.Sprintf("%.5f ± %.5f", cr.Concurrency.Mean, cr.Concurrency.HalfWidth),
-			report.FormatFloat(analytic.Concurrency[i]),
-		})
+		rows = append(rows, classRow(c.Name, cr, analytic, i))
 	}
 	if err := report.Table(stdout, headers, rows); err != nil {
 		return fail(err)
 	}
 	return 0
+}
+
+// runFarm runs the replication farm and prints pooled estimates in
+// the same table layout as a single run.
+func runFarm(fc sim.FarmConfig, analytic *core.Result, serviceName string, stdout, stderr io.Writer) int {
+	started := time.Now()
+	res, err := sim.Farm(fc)
+	if err != nil {
+		fmt.Fprintln(stderr, "xbarsim:", err)
+		return 1
+	}
+	elapsed := time.Since(started)
+	sw := fc.Switch
+
+	fmt.Fprintf(stdout, "%dx%d crossbar, %s service, %d replications, %d events, horizon %g (+%g warmup), seed %d\n",
+		sw.N1, sw.N2, serviceName, res.Reps, res.Events, fc.Horizon, fc.Warmup, fc.Seed)
+	fmt.Fprintf(stdout, "throughput %s events/s (%.0f ms wall)\n",
+		formatRate(float64(res.Events)/elapsed.Seconds()), elapsed.Seconds()*1000)
+	fmt.Fprintf(stdout, "mean occupancy %.4f ± %.4f (utilization %.4f)\n\n",
+		res.MeanOccupancy.Mean, res.MeanOccupancy.HalfWidth, res.Utilization)
+	headers := []string{"class", "offered", "blocked",
+		"B time (sim)", "B (analytic)", "B call (sim)", "E (sim)", "E (analytic)"}
+	var rows [][]string
+	for i, c := range sw.Classes {
+		rows = append(rows, classRow(c.Name, res.Classes[i], analytic, i))
+	}
+	if err := report.Table(stdout, headers, rows); err != nil {
+		fmt.Fprintln(stderr, "xbarsim:", err)
+		return 1
+	}
+	return 0
+}
+
+// runValidate scores the farm against the analytic solution and gates
+// on the largest |z|.
+func runValidate(fc sim.FarmConfig, maxZ float64, stdout, stderr io.Writer) int {
+	started := time.Now()
+	v, err := sim.Validate(fc)
+	if err != nil {
+		fmt.Fprintln(stderr, "xbarsim:", err)
+		return 1
+	}
+	elapsed := time.Since(started)
+	sw := fc.Switch
+
+	fmt.Fprintf(stdout, "%dx%d crossbar, %d replications, %d events, seed %d: farm vs analytic\n",
+		sw.N1, sw.N2, v.Farm.Reps, v.Farm.Events, fc.Seed)
+	fmt.Fprintf(stdout, "throughput %s events/s (%.0f ms wall)\n\n",
+		formatRate(float64(v.Farm.Events)/elapsed.Seconds()), elapsed.Seconds()*1000)
+	headers := []string{"class", "measure", "sim", "analytic", "z"}
+	var rows [][]string
+	for _, m := range v.Measures {
+		name := "switch"
+		if m.Class >= 0 {
+			name = sw.Classes[m.Class].Name
+		}
+		rows = append(rows, []string{
+			name, m.Name,
+			report.FormatFloat(m.Sim),
+			report.FormatFloat(m.Analytic),
+			fmt.Sprintf("%+.2f", m.Z),
+		})
+	}
+	if err := report.Table(stdout, headers, rows); err != nil {
+		fmt.Fprintln(stderr, "xbarsim:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nmax |z| = %.2f (gate %.2f)\n", v.MaxAbsZ, maxZ)
+	if v.MaxAbsZ > maxZ {
+		fmt.Fprintf(stderr, "xbarsim: validation failed: max |z| %.2f exceeds %.2f\n", v.MaxAbsZ, maxZ)
+		return 1
+	}
+	return 0
+}
+
+// classRow formats one class's estimates next to the analytic values.
+func classRow(name string, cr sim.ClassResult, analytic *core.Result, i int) []string {
+	return []string{
+		name,
+		strconv.FormatInt(cr.Offered, 10),
+		strconv.FormatInt(cr.Blocked, 10),
+		fmt.Sprintf("%.6f ± %.6f", 1-cr.TimeNonBlocking.Mean, cr.TimeNonBlocking.HalfWidth),
+		report.FormatFloat(analytic.Blocking[i]),
+		fmt.Sprintf("%.6f ± %.6f", cr.CallBlocking.Mean, cr.CallBlocking.HalfWidth),
+		fmt.Sprintf("%.5f ± %.5f", cr.Concurrency.Mean, cr.Concurrency.HalfWidth),
+		report.FormatFloat(analytic.Concurrency[i]),
+	}
+}
+
+// formatRate renders an events-per-second figure compactly (12.3M,
+// 450k, 980).
+func formatRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
 }

@@ -44,12 +44,70 @@ func TestServiceAndClasses(t *testing.T) {
 	}
 }
 
+func TestFarmRun(t *testing.T) {
+	args := append(append([]string(nil), short...), "-reps", "4", "-workers", "2")
+	code, out, errOut := runCapture(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"4 replications", "throughput", "events/s", "mean occupancy", "B (analytic)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFarmDeterministicOutputAcrossWorkers(t *testing.T) {
+	base := append(append([]string(nil), short...), "-reps", "3", "-seed", "5")
+	_, out1, _ := runCapture(t, append(base, "-workers", "1")...)
+	_, out8, _ := runCapture(t, append(base, "-workers", "8")...)
+	if stripThroughput(out1) != stripThroughput(out8) {
+		t.Errorf("farm output depends on worker count:\n-- workers=1 --\n%s\n-- workers=8 --\n%s", out1, out8)
+	}
+}
+
+// stripThroughput drops the wall-clock-dependent line so the rest of
+// the report can be compared exactly.
+func stripThroughput(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "throughput ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+func TestValidateGate(t *testing.T) {
+	args := append(append([]string(nil), short...), "-reps", "6", "-validate")
+	code, out, errOut := runCapture(t, args...)
+	if code != 0 {
+		t.Fatalf("validation run failed: exit %d, stderr: %s\nstdout: %s", code, errOut, out)
+	}
+	for _, want := range []string{"farm vs analytic", "max |z|", "concurrency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// An impossible gate must fail with a diagnostic on stderr.
+	args = append(args, "-max-z", "0")
+	code, _, errOut = runCapture(t, args...)
+	if code == 0 {
+		t.Error("-max-z 0 still passed")
+	}
+	if !strings.Contains(errOut, "validation failed") {
+		t.Errorf("stderr missing failure diagnostic: %s", errOut)
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	cases := [][]string{
 		{"-service", "bogus"},
 		{"-class", "nonsense"},
 		{"positional"},
 		{"-n1", "0"},
+		{"-reps", "0"},
 	}
 	for _, args := range cases {
 		code, _, errOut := runCapture(t, args...)

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachWorkerRunsEveryIndexOnce checks coverage and that every
+// reported worker identity is within the effective worker range.
+func TestForEachWorkerRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 200
+		var counts [n]atomic.Int64
+		var badWorker atomic.Int64
+		err := ForEachWorker(workers, n, func(w, i int) error {
+			if w < 0 || w >= Workers(workers) {
+				badWorker.Add(1)
+			}
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if badWorker.Load() != 0 {
+			t.Errorf("workers=%d: %d calls saw an out-of-range worker id", workers, badWorker.Load())
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerScratchIsPerWorker pins the contract Farm builds
+// on: one worker never runs two items concurrently, so per-worker
+// scratch needs no locking.
+func TestForEachWorkerScratchIsPerWorker(t *testing.T) {
+	const n = 500
+	var mu sync.Mutex
+	inUse := map[int]bool{}
+	err := ForEachWorker(4, n, func(w, i int) error {
+		mu.Lock()
+		if inUse[w] {
+			mu.Unlock()
+			return fmt.Errorf("worker %d reentered while busy", w)
+		}
+		inUse[w] = true
+		mu.Unlock()
+
+		mu.Lock()
+		inUse[w] = false
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachWorkerCollectsErrors checks errors join in item order
+// and do not stop other items from running.
+func TestForEachWorkerCollectsErrors(t *testing.T) {
+	const n = 50
+	want := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEachWorker(3, n, func(w, i int) error {
+		ran.Add(1)
+		if i%10 == 0 {
+			return fmt.Errorf("item %d: %w", i, want)
+		}
+		return nil
+	})
+	if ran.Load() != n {
+		t.Errorf("an error stopped the sweep early: ran %d of %d", ran.Load(), n)
+	}
+	if !errors.Is(err, want) {
+		t.Errorf("joined error lost the cause: %v", err)
+	}
+}
+
+// TestForEachWorkerEmpty checks the degenerate sizes.
+func TestForEachWorkerEmpty(t *testing.T) {
+	if err := ForEachWorker(4, 0, func(w, i int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := ForEachWorker(-1, 1, func(w, i int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("n=1 ran %d times", calls)
+	}
+}

@@ -66,6 +66,51 @@ func ForEach[T any](workers int, items []T, f func(i int, item T) error) error {
 	return errors.Join(errs...)
 }
 
+// ForEachWorker runs f(w, i) for every i in [0, n) using at most
+// Workers(workers) goroutines, passing each call the identity w of the
+// executing worker (0 <= w < effective workers). The worker identity
+// is what lets callers keep per-worker scratch — a simulator state, a
+// solver arena — and reuse it across the items that worker claims,
+// without locking and without allocating one scratch per item.
+//
+// Index claiming is atomic, so which worker runs which item is
+// scheduling-dependent: f must slot any output by i, never by w, for
+// deterministic results. Errors are collected per item and joined in
+// input order, exactly like ForEach.
+func ForEachWorker(workers, n int, f func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = f(0, i)
+		}
+		return errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Wavefront runs a tiled fill of a rows x cols lattice whose cells
 // depend only on cells with strictly smaller coordinates in both-or-one
 // dimension — i.e. cell (r, c) may read any (r', c') with r' <= r,

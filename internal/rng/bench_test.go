@@ -1,0 +1,58 @@
+package rng
+
+import "testing"
+
+// Sampling primitives are the irreducible per-event cost of the
+// simulator hot path; these benchmarks track them individually.
+
+func BenchmarkUint64(b *testing.B) {
+	s := NewStream(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= s.Uint64()
+	}
+	sinkU = acc
+}
+
+func BenchmarkExpUnit(b *testing.B) {
+	s := NewStream(1)
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += s.ExpUnit()
+	}
+	sinkF = acc
+}
+
+func BenchmarkExpLog(b *testing.B) {
+	s := NewStream(1)
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += s.Exp(1)
+	}
+	sinkF = acc
+}
+
+func BenchmarkIntnPow2(b *testing.B) {
+	s := NewStream(1)
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += s.Intn(16)
+	}
+	sinkI = acc
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := NewStream(1)
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += s.Intn(100)
+	}
+	sinkI = acc
+}
+
+// Sinks defeat dead-code elimination of the benchmark bodies.
+var (
+	sinkU uint64
+	sinkF float64
+	sinkI int
+)

@@ -12,6 +12,7 @@ package rng
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Stream is a deterministic random number stream. The zero value is
@@ -24,20 +25,27 @@ type Stream struct {
 // so nearby seeds yield well-separated states.
 func NewStream(seed uint64) *Stream {
 	st := &Stream{}
+	st.Reseed(seed)
+	return st
+}
+
+// Reseed resets the stream in place to exactly the state NewStream
+// would produce, so pooled simulator states can reuse one Stream
+// across replications without allocating.
+func (s *Stream) Reseed(seed uint64) {
 	x := seed
-	for i := range st.s {
+	for i := range s.s {
 		x += 0x9e3779b97f4a7c15
 		z := x
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		st.s[i] = z ^ (z >> 31)
+		s.s[i] = z ^ (z >> 31)
 	}
 	// Avoid the all-zero state (splitmix64 never produces it from all
 	// four outputs, but be explicit).
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 1
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 1
 	}
-	return st
 }
 
 // Split derives an independent child stream; the parent advances.
@@ -45,18 +53,45 @@ func (s *Stream) Split() *Stream {
 	return NewStream(s.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Substream returns the i-th child stream of s, derived from s's
+// current state WITHOUT advancing it: unlike Split, calling
+// Substream(i) any number of times, in any order, for any mix of
+// indices, always yields the same streams. That is the property the
+// replication farm needs — replication i's stream depends only on
+// (seed, i), never on which worker ran it or how many substreams were
+// taken before it. Substream is safe for concurrent use as long as no
+// goroutine concurrently advances s.
+//
+// Children are seeded through two independent splitmix64 finalizer
+// chains (one over the folded 256-bit parent state, one over the
+// index), so distinct indices — and distinct parents — land in
+// well-separated regions of the xoshiro256** state space.
+func (s *Stream) Substream(i uint64) *Stream {
+	fold := s.s[0] ^ bits.RotateLeft64(s.s[1], 17) ^ bits.RotateLeft64(s.s[2], 31) ^ bits.RotateLeft64(s.s[3], 47)
+	return NewStream(mix64(fold) ^ mix64(i*0x9e3779b97f4a7c15+0xd1b54a32d192ed03))
+}
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+// The formulation matters: bits.RotateLeft64 is a compiler intrinsic
+// and the pre-update s.s[1] is held in one local, which together keep
+// the method under the inlining budget — Uint64 must inline into the
+// simulator's hot loop.
 func (s *Stream) Uint64() uint64 {
-	result := rotl(s.s[1]*5, 7) * 9
-	t := s.s[1] << 17
+	s1 := s.s[1]
+	result := bits.RotateLeft64(s1*5, 7) * 9
 	s.s[2] ^= s.s[0]
-	s.s[3] ^= s.s[1]
+	s.s[3] ^= s1
 	s.s[1] ^= s.s[2]
 	s.s[0] ^= s.s[3]
-	s.s[2] ^= t
-	s.s[3] = rotl(s.s[3], 45)
+	s.s[2] ^= s1 << 17
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
 	return result
 }
 
@@ -71,27 +106,22 @@ func (s *Stream) Intn(n int) int {
 		//lint:allow libpanic hot-path sampling primitive; n <= 0 is a caller bug, like a slice bound
 		panic(fmt.Sprintf("rng: Intn(%d)", n))
 	}
-	// Lemire's multiply-shift rejection method, unbiased.
 	bound := uint64(n)
+	if bound&(bound-1) == 0 {
+		// Power-of-two n: masking the low bits is already uniform.
+		// One draw, no multiply, no rejection — and port counts in
+		// simulated fabrics are very often powers of two.
+		return int(s.Uint64() & (bound - 1))
+	}
+	// Lemire's multiply-shift rejection method, unbiased. bits.Mul64
+	// compiles to one MUL on 64-bit targets.
 	for {
 		x := s.Uint64()
-		hi, lo := mul64(x, bound)
+		hi, lo := bits.Mul64(x, bound)
 		if lo >= bound || lo >= (-bound)%bound {
 			return int(hi)
 		}
 	}
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo*bHi + (aLo*bLo)>>32
-	w1 := t & mask
-	w2 := t >> 32
-	w1 += aHi * bLo
-	return aHi*bHi + w2 + (w1 >> 32), a * b
 }
 
 // Exp returns an exponential variate with the given rate (mean
@@ -104,6 +134,86 @@ func (s *Stream) Exp(rate float64) float64 {
 	u := s.Float64()
 	// 1-u is in (0, 1], so the log is finite.
 	return -math.Log(1-u) / rate
+}
+
+// Ziggurat tables for the unit exponential (Marsaglia & Tsang 2000),
+// built at init from the layer recurrence in float64 throughout:
+// 255 equal-area layers plus the exp tail at zigR. ZigKE[i] is the
+// 53-bit threshold below which the draw is accepted without any
+// transcendental call (~98.9% of draws), ZigWE[i] maps the 53-bit
+// uniform onto layer i's width, and zigFE[i] = exp(-x_i) feeds the
+// wedge rejection test. ZigKE/ZigWE and ExpUnitTail are exported so a
+// fused hot loop can transcribe ExpUnit's three-instruction fast path
+// inline (avoiding the register spills a call forces) and delegate
+// only the ~1.1% slow path; treat the tables as read-only.
+const (
+	zigR = 7.69711747013104972      // tail start
+	zigV = 0.0039496598225815571993 // per-layer area
+	zigM = 1 << 53                  // uniform resolution
+)
+
+var (
+	ZigKE [256]uint64
+	ZigWE [256]float64
+	zigFE [256]float64
+)
+
+func init() {
+	de, te := zigR, zigR
+	q := zigV / math.Exp(-zigR)
+	ZigKE[0] = uint64((de / q) * zigM)
+	ZigKE[1] = 0
+	ZigWE[0] = q / zigM
+	ZigWE[255] = de / zigM
+	zigFE[0] = 1
+	zigFE[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(zigV/de + math.Exp(-de))
+		ZigKE[i+1] = uint64((de / te) * zigM)
+		te = de
+		zigFE[i] = math.Exp(-de)
+		ZigWE[i] = de / zigM
+	}
+}
+
+// ExpUnit returns a unit-mean exponential variate via the ziggurat
+// method: one Uint64 and two table lookups on the ~98.9% fast path,
+// against a math.Log per draw for the inverse-CDF Exp. The simulator
+// hot path draws every clock through it; Exp keeps the inverse-CDF
+// form so existing seeded sequences elsewhere are unchanged.
+// The ~1.1% of draws that miss the rectangular layer go through
+// ExpUnitTail, so the fast path has no loop and stays inlinable.
+func (s *Stream) ExpUnit() float64 {
+	u := s.Uint64()
+	i := u & 255
+	j := u >> 11 // bits 11..63: disjoint from the layer index bits
+	x := float64(j) * ZigWE[i]
+	if j < ZigKE[i] {
+		return x
+	}
+	return s.ExpUnitTail(i, x)
+}
+
+// ExpUnitTail resolves a ziggurat draw that fell outside layer i's
+// rectangle at abscissa x: tail, wedge test, or full redraw — exactly
+// the classic rejection loop.
+func (s *Stream) ExpUnitTail(i uint64, x float64) float64 {
+	for {
+		if i == 0 {
+			// Tail: exponential beyond zigR is memoryless.
+			return zigR + s.Exp(1)
+		}
+		if zigFE[i]+s.Float64()*(zigFE[i-1]-zigFE[i]) < math.Exp(-x) {
+			return x
+		}
+		u := s.Uint64()
+		i = u & 255
+		j := u >> 11
+		x = float64(j) * ZigWE[i]
+		if j < ZigKE[i] {
+			return x
+		}
+	}
 }
 
 // ServiceDist is a holding-time distribution with a known mean, used to

@@ -1,0 +1,165 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSubstreamDeterministic pins the farm's seeding contract: the
+// substream for index i is a pure function of (parent seed, i), and
+// taking one substream must not advance or perturb the parent.
+func TestSubstreamDeterministic(t *testing.T) {
+	a := NewStream(42).Substream(7)
+	b := NewStream(42).Substream(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("substream(7) diverged at draw %d", i)
+		}
+	}
+
+	parent := NewStream(42)
+	want := make([]uint64, 20)
+	probe := NewStream(42)
+	for i := range want {
+		want[i] = probe.Uint64()
+	}
+	parent.Substream(1)
+	parent.Substream(2)
+	for i, w := range want {
+		if got := parent.Uint64(); got != w {
+			t.Fatalf("Substream advanced the parent: draw %d got %x want %x", i, got, w)
+		}
+	}
+}
+
+// TestSubstreamsDisjoint checks pairwise independence the way the
+// farm relies on it: the first draws of many sibling substreams, and
+// of substreams of different parents, never collide. A 64-bit
+// collision among a few thousand well-seeded streams has probability
+// ~1e-13, so any hit means correlated seeding.
+func TestSubstreamsDisjoint(t *testing.T) {
+	seen := make(map[uint64]string, 4096)
+	record := func(name string, v uint64) {
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("first draw collision between %s and %s", name, prev)
+		}
+		seen[v] = name
+	}
+	for _, seed := range []uint64{0, 1, 42, 1 << 60} {
+		parent := NewStream(seed)
+		for i := uint64(0); i < 512; i++ {
+			sub := parent.Substream(i)
+			record("substream", sub.Uint64())
+		}
+	}
+}
+
+// TestSubstreamSequencesDiffer checks sibling substreams produce
+// different sequences, not merely different first draws.
+func TestSubstreamSequencesDiffer(t *testing.T) {
+	parent := NewStream(9)
+	a, b := parent.Substream(0), parent.Substream(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d of 64 draws matched between substream 0 and 1", same)
+	}
+}
+
+// TestReseedMatchesNewStream pins the pooling contract: Reseed(s)
+// reproduces NewStream(s) exactly, from any prior state.
+func TestReseedMatchesNewStream(t *testing.T) {
+	s := NewStream(1)
+	for i := 0; i < 1000; i++ {
+		s.Uint64() // scramble the state
+	}
+	s.Reseed(1234)
+	fresh := NewStream(1234)
+	for i := 0; i < 200; i++ {
+		if s.Uint64() != fresh.Uint64() {
+			t.Fatalf("Reseed diverged from NewStream at draw %d", i)
+		}
+	}
+}
+
+// TestExpUnitMoments checks the ziggurat exponential against the
+// first three moments of Exp(1) — mean 1, E[X^2] = 2, E[X^3] = 6 —
+// within Monte-Carlo tolerance.
+func TestExpUnitMoments(t *testing.T) {
+	const n = 2_000_000
+	s := NewStream(3)
+	var m1, m2, m3 float64
+	for i := 0; i < n; i++ {
+		x := s.ExpUnit()
+		if x < 0 {
+			t.Fatalf("draw %d: negative exponential %v", i, x)
+		}
+		m1 += x
+		m2 += x * x
+		m3 += x * x * x
+	}
+	m1 /= n
+	m2 /= n
+	m3 /= n
+	if math.Abs(m1-1) > 0.003 {
+		t.Errorf("mean = %v, want 1", m1)
+	}
+	if math.Abs(m2-2) > 0.02 {
+		t.Errorf("second moment = %v, want 2", m2)
+	}
+	if math.Abs(m3-6) > 0.15 {
+		t.Errorf("third moment = %v, want 6", m3)
+	}
+}
+
+// TestExpUnitTailQuantiles checks the distribution beyond the
+// ziggurat's rectangular layers (x > zigR is drawn by ExpUnitTail's
+// memoryless tail branch): the survival function must still be e^-x.
+func TestExpUnitTailQuantiles(t *testing.T) {
+	const n = 4_000_000
+	s := NewStream(8)
+	var beyondR, beyond9 int
+	for i := 0; i < n; i++ {
+		x := s.ExpUnit()
+		if x > zigR {
+			beyondR++
+		}
+		if x > 9 {
+			beyond9++
+		}
+	}
+	checkRate := func(name string, count int, p float64) {
+		got := float64(count) / n
+		se := math.Sqrt(p * (1 - p) / n)
+		if math.Abs(got-p) > 5*se {
+			t.Errorf("%s: observed rate %.3g, want %.3g (5 sigma = %.2g)", name, got, p, 5*se)
+		}
+	}
+	checkRate("P(X > zigR)", beyondR, math.Exp(-zigR))
+	checkRate("P(X > 9)", beyond9, math.Exp(-9))
+}
+
+// TestExpUnitMatchesTables cross-checks the hand-inlined transcription
+// contract used by the simulator's fused loop: recomputing a draw from
+// the exported tables reproduces ExpUnit exactly.
+func TestExpUnitMatchesTables(t *testing.T) {
+	ref := NewStream(17)
+	tr := NewStream(17)
+	for i := 0; i < 100_000; i++ {
+		want := ref.ExpUnit()
+		u := tr.Uint64()
+		zi := u & 255
+		zj := u >> 11
+		x := float64(zj) * ZigWE[zi]
+		if zj >= ZigKE[zi] {
+			x = tr.ExpUnitTail(zi, x)
+		}
+		if x != want {
+			t.Fatalf("draw %d: transcription %v, ExpUnit %v", i, x, want)
+		}
+	}
+}

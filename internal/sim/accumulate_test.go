@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"xbar/internal/rng"
+)
+
+// accumulateRef is the obvious O(batches) reference: intersect [t0,t1)
+// with every batch window independently.
+func accumulateRef(out []float64, start, batchLen float64, batches int, t0, t1, value float64) {
+	for b := 0; b < batches; b++ {
+		lo := math.Max(t0, start+float64(b)*batchLen)
+		hi := math.Min(t1, start+float64(b+1)*batchLen)
+		if hi > lo {
+			out[b] += value * (hi - lo)
+		}
+	}
+}
+
+// TestAccumulateMatchesReference drives accumulate with random spans —
+// before the window, inside one batch, across several, past the end —
+// and checks the per-batch areas against the naive reference.
+func TestAccumulateMatchesReference(t *testing.T) {
+	const (
+		start    = 10.0
+		batchLen = 5.0
+		batches  = 8
+	)
+	s := rng.NewStream(77)
+	for trial := 0; trial < 2000; trial++ {
+		a := s.Float64()*60 - 5
+		b := s.Float64()*60 - 5
+		t0, t1 := math.Min(a, b), math.Max(a, b)
+		value := 1 + s.Float64()
+		got := make([]float64, batches)
+		want := make([]float64, batches)
+		accumulate(got, start, batchLen, batches, t0, t1, value)
+		accumulateRef(want, start, batchLen, batches, t0, t1, value)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d span [%g,%g): batch %d got %g want %g", trial, t0, t1, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAccumulateConservesArea checks the invariant the estimators rely
+// on: the batch areas of a span clipped to the window sum to the
+// clipped span length times the value.
+func TestAccumulateConservesArea(t *testing.T) {
+	const (
+		start    = 0.0
+		batchLen = 2.5
+		batches  = 4
+	)
+	end := start + batchLen*float64(batches)
+	spans := [][2]float64{{-3, -1}, {-1, 1}, {0.5, 0.6}, {1, 9}, {-2, 14}, {9.9, 12}, {10, 12}}
+	for _, sp := range spans {
+		out := make([]float64, batches)
+		accumulate(out, start, batchLen, batches, sp[0], sp[1], 2)
+		sum := 0.0
+		for _, v := range out {
+			sum += v
+		}
+		want := 2 * math.Max(0, math.Min(sp[1], end)-math.Max(sp[0], start))
+		if math.Abs(sum-want) > 1e-12 {
+			t.Errorf("span [%g,%g): total area %g want %g", sp[0], sp[1], sum, want)
+		}
+	}
+}

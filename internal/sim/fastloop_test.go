@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"xbar/internal/core"
+	"xbar/internal/rng"
+)
+
+// fastLoopConfigs spans the regimes runFast specializes: single-slot
+// and multi-slot classes, Poisson and bursty arrivals, power-of-two
+// and non-power-of-two port counts, one batch and many.
+func fastLoopConfigs() []Config {
+	return []Config{
+		{Switch: benchSwitch(), Seed: 7, Warmup: 50, Horizon: 800},
+		{Switch: benchSwitch(), Seed: 11, Warmup: 0, Horizon: 500, Batches: 2},
+		{Switch: core.Switch{N1: 5, N2: 9, Classes: []core.Class{
+			{Name: "p", A: 1, Alpha: 0.09, Mu: 1},
+			{Name: "b", A: 2, Alpha: 0.004, Beta: 0.006, Mu: 0.5},
+		}}, Seed: 3, Warmup: 20, Horizon: 600, Batches: 7},
+		{Switch: core.Switch{N1: 4, N2: 4, Classes: []core.Class{
+			{Name: "hot", A: 1, Alpha: 1.5, Mu: 1},
+		}}, Seed: 19, Warmup: 10, Horizon: 300},
+	}
+}
+
+// TestRunFastMatchesGeneric pins the fused loop's correctness
+// contract: for the same Config and stream, runFast and runGeneric
+// must produce bit-identical trajectories — same draws in the same
+// order, same statistics, down to floating-point summation order.
+func TestRunFastMatchesGeneric(t *testing.T) {
+	for ci, cfg := range fastLoopConfigs() {
+		p, err := prepare(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		fast := newState(p, cfg)
+		gen := newState(p, cfg)
+		if !fast.useFlat {
+			t.Fatalf("config %d: expected the flat schedule (runFast precondition)", ci)
+		}
+
+		fast.reset(rng.NewStream(cfg.Seed))
+		if err := fast.runFast(p.maxEvents); err != nil {
+			t.Fatalf("config %d: runFast: %v", ci, err)
+		}
+		gen.reset(rng.NewStream(cfg.Seed))
+		if err := gen.runGeneric(p.maxEvents); err != nil {
+			t.Fatalf("config %d: runGeneric: %v", ci, err)
+		}
+
+		if fast.events != gen.events {
+			t.Fatalf("config %d: runFast processed %d events, runGeneric %d", ci, fast.events, gen.events)
+		}
+		rf, rg := fast.extract(), gen.extract()
+		if !reflect.DeepEqual(rf, rg) {
+			t.Errorf("config %d: raw records differ between runFast and runGeneric:\nfast: %+v\ngeneric: %+v", ci, rf, rg)
+		}
+		// The reusable mid-run state must agree too, or a farm mixing
+		// paths across replications would diverge after reset.
+		if fast.occ != gen.occ || fast.fixState != gen.fixState {
+			t.Errorf("config %d: final state differs: occ %d/%d fix %d/%d",
+				ci, fast.occ, gen.occ, fast.fixState, gen.fixState)
+		}
+		if !reflect.DeepEqual(fast.busyIn, gen.busyIn) || !reflect.DeepEqual(fast.busyOut, gen.busyOut) {
+			t.Errorf("config %d: busy port state differs", ci)
+		}
+		if !reflect.DeepEqual(fast.k, gen.k) {
+			t.Errorf("config %d: class counts differ: %v vs %v", ci, fast.k, gen.k)
+		}
+	}
+}
+
+// TestRunFastMatchesGenericOnError pins that both loops fail the
+// runaway-event guard identically: same error, same truncated state.
+func TestRunFastMatchesGenericOnError(t *testing.T) {
+	cfg := Config{Switch: benchSwitch(), Seed: 5, Warmup: 100, Horizon: 5000}
+	p, err := prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.maxEvents = 1000
+	fast := newState(p, cfg)
+	gen := newState(p, cfg)
+	fast.reset(rng.NewStream(cfg.Seed))
+	errFast := fast.runFast(p.maxEvents)
+	gen.reset(rng.NewStream(cfg.Seed))
+	errGen := gen.runGeneric(p.maxEvents)
+	if errFast == nil || errGen == nil {
+		t.Fatalf("expected both loops to hit the event cap; fast=%v generic=%v", errFast, errGen)
+	}
+	if errFast.Error() != errGen.Error() {
+		t.Errorf("error text differs: %q vs %q", errFast, errGen)
+	}
+	if fast.events != gen.events || fast.now != gen.now {
+		t.Errorf("truncated state differs: events %d/%d now %v/%v",
+			fast.events, gen.events, fast.now, gen.now)
+	}
+}
+
+// TestRunDispatchesWidePortsToGeneric pins the dispatcher gate: port
+// counts beyond the 64-bit busy masks must take the generic loop (and
+// still produce a valid run).
+func TestRunDispatchesWidePortsToGeneric(t *testing.T) {
+	sw := core.Switch{N1: 80, N2: 16, Classes: []core.Class{
+		{Name: "p", A: 1, Alpha: 0.02, Mu: 1},
+	}}
+	cfg := Config{Switch: sw, Seed: 2, Warmup: 10, Horizon: 200}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Fatal("no events simulated on a wide-port fabric")
+	}
+}

@@ -25,6 +25,17 @@
 //     idle-indicator of one fixed route.
 //   - call congestion: the fraction of offered class-r requests that
 //     are blocked, which is what a user of the switch experiences.
+//
+// The engine is built for event throughput (docs/SIMULATOR.md): live
+// connections occupy slots of a pre-sized port arena recycled through
+// a free list, departures carry only an 8-byte (class, slot) record
+// through the event queue, and every time-weighted statistic is a
+// flat per-batch array updated incrementally — occupancy and
+// fixed-route state as time-in-state histograms folded against the
+// measure tables once per run, per-class concurrency lazily on k_r
+// changes. Steady-state operation performs zero allocations per
+// event, and state objects are Reset-recyclable so the replication
+// farm (Farm) reuses one state per worker across replications.
 package sim
 
 import (
@@ -66,8 +77,19 @@ type Config struct {
 	// Admit, when non-nil, is an admission policy evaluated at each
 	// arrival before port selection: a rejected request is counted as
 	// blocked and cleared. The slice passed is the live class-count
-	// vector; policies must not retain or modify it.
+	// vector; policies must not retain or modify it. Under Farm the
+	// policy is called from multiple replications concurrently, so it
+	// must be safe for concurrent use (a pure function of its
+	// arguments is).
 	Admit AdmitFunc
+	// CalendarQueue selects the bucketed calendar queue for the
+	// departure schedule instead of the default 4-ary heap — O(1)
+	// amortized instead of O(log n), worthwhile for switches with
+	// hundreds of concurrent connections. Results are identical to
+	// the heap's whenever no two departures are scheduled at exactly
+	// the same instant, which holds almost surely for continuous
+	// holding-time distributions.
+	CalendarQueue bool
 }
 
 // AdmitFunc decides whether a class arrival may enter the fabric given
@@ -110,154 +132,392 @@ type Result struct {
 
 const defaultMaxEvents = 50_000_000
 
+// runParams is a validated, defaulted Config shared by Run and Farm.
+type runParams struct {
+	sw        core.Switch
+	service   []rng.ServiceDist
+	batches   int
+	level     float64
+	maxEvents int64
+}
+
+// prepare validates the config and resolves defaults.
+func prepare(cfg Config) (runParams, error) {
+	var p runParams
+	p.sw = cfg.Switch
+	if err := p.sw.Validate(); err != nil {
+		return p, err
+	}
+	if cfg.Horizon <= 0 {
+		return p, fmt.Errorf("sim: horizon must be positive, got %v", cfg.Horizon)
+	}
+	if cfg.Warmup < 0 {
+		return p, fmt.Errorf("sim: negative warmup %v", cfg.Warmup)
+	}
+	p.batches = cfg.Batches
+	if p.batches == 0 {
+		p.batches = 20
+	}
+	if p.batches < 2 {
+		return p, fmt.Errorf("sim: need at least 2 batches, got %d", p.batches)
+	}
+	p.level = cfg.Level
+	if p.level == 0 { //lint:allow floatcmp zero value of Config.Level selects the default (Go zero-value idiom)
+		p.level = 0.95
+	}
+	p.maxEvents = cfg.MaxEvents
+	if p.maxEvents == 0 {
+		p.maxEvents = defaultMaxEvents
+	}
+	if cfg.Service != nil && len(cfg.Service) != len(p.sw.Classes) {
+		return p, fmt.Errorf("sim: %d service distributions for %d classes",
+			len(cfg.Service), len(p.sw.Classes))
+	}
+	p.service = make([]rng.ServiceDist, len(p.sw.Classes))
+	for r, c := range p.sw.Classes {
+		if cfg.Service != nil && cfg.Service[r] != nil {
+			p.service[r] = cfg.Service[r]
+			if m := p.service[r].Mean(); math.Abs(m-1/c.Mu) > 1e-9*math.Max(m, 1/c.Mu) {
+				return p, fmt.Errorf("sim: class %d service mean %v != 1/mu = %v", r, m, 1/c.Mu)
+			}
+		} else {
+			p.service[r] = rng.Exponential{M: 1 / c.Mu}
+		}
+	}
+	return p, nil
+}
+
 // Run simulates the configured switch and returns estimates with
 // confidence intervals.
 func Run(cfg Config) (*Result, error) {
-	sw := cfg.Switch
-	if err := sw.Validate(); err != nil {
+	p, err := prepare(cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("sim: horizon must be positive, got %v", cfg.Horizon)
-	}
-	if cfg.Warmup < 0 {
-		return nil, fmt.Errorf("sim: negative warmup %v", cfg.Warmup)
-	}
-	batches := cfg.Batches
-	if batches == 0 {
-		batches = 20
-	}
-	if batches < 2 {
-		return nil, fmt.Errorf("sim: need at least 2 batches, got %d", batches)
-	}
-	level := cfg.Level
-	if level == 0 { //lint:allow floatcmp zero value of Config.Level selects the default (Go zero-value idiom)
-		level = 0.95
-	}
-	maxEvents := cfg.MaxEvents
-	if maxEvents == 0 {
-		maxEvents = defaultMaxEvents
-	}
-	if cfg.Service != nil && len(cfg.Service) != len(sw.Classes) {
-		return nil, fmt.Errorf("sim: %d service distributions for %d classes",
-			len(cfg.Service), len(sw.Classes))
-	}
-	service := make([]rng.ServiceDist, len(sw.Classes))
-	for r, c := range sw.Classes {
-		if cfg.Service != nil && cfg.Service[r] != nil {
-			service[r] = cfg.Service[r]
-			if m := service[r].Mean(); math.Abs(m-1/c.Mu) > 1e-9*math.Max(m, 1/c.Mu) {
-				return nil, fmt.Errorf("sim: class %d service mean %v != 1/mu = %v", r, m, 1/c.Mu)
-			}
-		} else {
-			service[r] = rng.Exponential{M: 1 / c.Mu}
-		}
-	}
-
-	s := newState(sw, cfg.Seed, service, cfg.Warmup, cfg.Horizon, batches)
-	s.admit = cfg.Admit
-	if err := s.run(maxEvents); err != nil {
+	s := newState(p, cfg)
+	s.reset(rng.NewStream(cfg.Seed))
+	if err := s.run(p.maxEvents); err != nil {
 		return nil, err
 	}
-	return s.results(level), nil
+	return finalize(s.extract(), p.level, p.batches), nil
 }
 
-// departure is a scheduled connection teardown.
-type departure struct {
-	class   int
-	inputs  []int
-	outputs []int
+// conn is the compact departure record carried through the event
+// queue: the connection's class and its slot in the port arena.
+type conn struct {
+	class int32
+	slot  int32
 }
 
 type classSim struct {
-	class   core.Class
-	routes  float64 // P(N1,a) P(N2,a): ordered candidate routes
+	a      int
+	routes float64 // P(N1,a) P(N2,a): ordered candidate routes
+	// invRate[k] is 1 / (routes * (alpha + beta k)), the mean
+	// inter-arrival time at class count k, precomputed so the hot path
+	// never divides; a negative entry marks rate <= 0 (no arrivals).
+	// k never exceeds MinN, so the table covers every reachable count.
+	invRate []float64
+	// expMean > 0 devirtualizes the common exponential holding time:
+	// sample as ExpUnit()*expMean instead of an interface call.
+	expMean float64
+	// kDep marks beta != 0: the arrival rate depends on k, so the
+	// class clock must be resampled whenever k changes. Poisson
+	// classes (beta == 0) keep their clock across k changes — exact by
+	// memorylessness, and it saves a draw per departure.
+	kDep    bool
 	service rng.ServiceDist
-	nextArr float64
-	// Per-batch accumulators: arrival counters, time-weighted class
-	// count (kTW), Rao-Blackwellized route-idle probability (rbTW),
-	// and the raw idle indicator of the canonical fixed route —
-	// inputs 0..a-1, outputs 0..a-1 (fixTW).
-	offered, blocked []int64
-	kTW, rbTW, fixTW []batchTW
 }
-
-// batchTW is a minimal time-weighted accumulator for one batch.
-type batchTW struct{ area float64 }
 
 type state struct {
-	sw       core.Switch
-	rng      *rng.Stream
-	classes  []classSim
-	busyIn   []bool
-	busyOut  []bool
-	occ      int // busy inputs (= busy outputs)
-	k        []int
-	deps     eventq.Queue[departure]
-	now      float64
-	start    float64 // measurement start (= warmup)
-	end      float64
-	batchLen float64
-	batches  int
-	occTW    []batchTW
-	// occHist[s] accumulates measured time with occupancy s.
-	occHist []float64
+	sw      core.Switch
+	rng     *rng.Stream
+	classes []classSim
+	// nextArr[r] is class r's next arrival instant, kept out of
+	// classSim so the per-event earliest-arrival scan walks a
+	// contiguous float64 array.
+	nextArr []float64
+	busyIn  []bool
+	busyOut []bool
+	occ     int // busy inputs (= busy outputs)
+	k       []int
+
+	// Connection arena: slot i's ports live at ports[i*stride :
+	// i*stride+2a] (a inputs then a outputs); free is the stack of
+	// recyclable slots. Capacity is MinN slots — every connection
+	// seizes at least one input, so no more can be live at once.
+	stride int
+	ports  []int32
+	free   []int32
+
+	// Departure schedule: exactly one of heap/cal is non-nil, unless
+	// useFlat selects the flat cached-min schedule below.
+	heap *eventq.Queue[conn]
+	cal  *eventq.Calendar[conn]
+
+	// Flat departure schedule, used for small fabrics (minN <=
+	// flatScheduleMax) instead of the heap: an unordered array with a
+	// cached argmin. A heap's sift comparisons are data-random and
+	// mispredict ~half the time; a linear min-scan's running-min
+	// branch is taken only O(log n) times in expectation, so for small
+	// n the scan is substantially faster per event. The cache makes it
+	// one scan per departure: pushes keep the cached min up to date,
+	// only popping it invalidates.
+	useFlat bool
+	depAt   []float64
+	depC    []conn
+	depMin  int // cached argmin of depAt, -1 when invalid
+
+	now         float64
+	start       float64 // measurement start (= warmup)
+	end         float64
+	batchLen    float64
+	invBatchLen float64
+	batches     int
+
+	// Current measurement batch, advanced monotonically by the run
+	// loop: curB is the batch index of s.now, valid on [curB0, curB1).
+	// flush needs one comparison against curB0 to place the common
+	// within-batch span — no float->int conversion on the hot path.
+	// curB0 starts at the warmup boundary (so warmup spans take the
+	// clipping slow path) and is forced to +Inf for the final flushes.
+	curB         int
+	curB0, curB1 float64
+
+	// Time-in-state histograms, flat [state*batches + b]: occTime by
+	// occupancy (minN+1 states), fixTime by fixed-route idle prefix
+	// (maxFix+1 states, fixState = largest a with inputs 0..a-1 and
+	// outputs 0..a-1 all idle, capped at maxFix). Both accumulate
+	// lazily: occSince/fixSince record when the current state was
+	// entered, and flushOcc/flushFix integrate the elapsed span only
+	// when the state actually changes (and once at the end of the run).
+	// Every occupancy- or route-dependent measure is recovered from the
+	// histograms after the run.
+	occTime  []float64
+	fixTime  []float64
+	occSince float64
+	fixSince float64
+	fixState int
+	maxFix   int
+
+	// Lazy per-class concurrency accumulation, flat [r*batches + b]:
+	// class r's row is only touched when k_r changes (flushK), not on
+	// every event. kSince[r] is the time k_r took its current value.
+	kTW    []float64
+	kSince []float64
+
+	// Arrival counters, flat [r*batches + b].
+	offered []int64
+	blocked []int64
+
 	// scratch buffers for route sampling
 	pickIn, pickOut []int
-	events          int64
-	admit           AdmitFunc
+	// pairDraw marks both port counts as powers of two: a single-route
+	// pick then uses disjoint bit fields of one 64-bit draw (low bits
+	// for the input, bits 32+ for the output) instead of two draws.
+	pairDraw     bool
+	mask1, mask2 int
+	events       int64
+	admit        AdmitFunc
 }
 
-func newState(sw core.Switch, seed uint64, service []rng.ServiceDist, warmup, horizon float64, batches int) *state {
+// newState builds a state for the prepared config. The state carries
+// no randomness yet: call reset with a stream before run. One state
+// is reusable across any number of reset/run cycles — construction
+// is the only allocation site.
+func newState(p runParams, cfg Config) *state {
+	sw := p.sw
+	minN := sw.MinN()
+	batches := p.batches
 	s := &state{
 		sw:       sw,
-		rng:      rng.NewStream(seed),
+		nextArr:  make([]float64, len(sw.Classes)),
 		busyIn:   make([]bool, sw.N1),
 		busyOut:  make([]bool, sw.N2),
 		k:        make([]int, len(sw.Classes)),
-		start:    warmup,
-		end:      warmup + horizon,
-		batchLen: horizon / float64(batches),
+		start:    cfg.Warmup,
+		end:      cfg.Warmup + cfg.Horizon,
+		batchLen: cfg.Horizon / float64(batches),
 		batches:  batches,
-		occTW:    make([]batchTW, batches),
-		occHist:  make([]float64, sw.MinN()+1),
+		kSince:   make([]float64, len(sw.Classes)),
+		kTW:      make([]float64, len(sw.Classes)*batches),
+		offered:  make([]int64, len(sw.Classes)*batches),
+		blocked:  make([]int64, len(sw.Classes)*batches),
+		occTime:  make([]float64, (minN+1)*batches),
+		admit:    cfg.Admit,
 	}
+	s.invBatchLen = 1 / s.batchLen
 	maxA := 0
+	meanMax := 0.0
 	for r, c := range sw.Classes {
+		routes := combin.Perm(sw.N1, c.A) * combin.Perm(sw.N2, c.A)
 		cs := classSim{
-			class:   c,
-			routes:  combin.Perm(sw.N1, c.A) * combin.Perm(sw.N2, c.A),
-			service: service[r],
-			offered: make([]int64, batches),
-			blocked: make([]int64, batches),
-			kTW:     make([]batchTW, batches),
-			rbTW:    make([]batchTW, batches),
-			fixTW:   make([]batchTW, batches),
+			a:       c.A,
+			routes:  routes,
+			kDep:    c.Beta != 0, //lint:allow floatcmp beta exactly zero selects the Poisson fast path
+			service: p.service[r],
 		}
-		cs.nextArr = s.sampleArrival(0, &cs, 0)
+		cs.invRate = make([]float64, minN+1)
+		for k := range cs.invRate {
+			rate := routes * (c.Alpha + c.Beta*float64(k))
+			if rate > 0 {
+				cs.invRate[k] = 1 / rate
+			} else {
+				cs.invRate[k] = -1
+			}
+		}
+		if e, ok := cs.service.(rng.Exponential); ok {
+			cs.expMean = e.M
+		}
+		if m := cs.service.Mean(); m > meanMax {
+			meanMax = m
+		}
 		s.classes = append(s.classes, cs)
 		if c.A > maxA {
 			maxA = c.A
 		}
 	}
+	s.maxFix = maxA
+	if s.maxFix > minN {
+		s.maxFix = minN
+	}
+	s.fixTime = make([]float64, (s.maxFix+1)*batches)
 	s.pickIn = make([]int, maxA)
 	s.pickOut = make([]int, maxA)
+	s.pairDraw = sw.N1&(sw.N1-1) == 0 && sw.N2&(sw.N2-1) == 0
+	s.mask1 = sw.N1 - 1
+	s.mask2 = sw.N2 - 1
+	s.stride = 2 * maxA
+	s.ports = make([]int32, minN*s.stride)
+	s.free = make([]int32, 0, minN)
+	switch {
+	case cfg.CalendarQueue:
+		// Bucket width ~ the mean gap between departures at full
+		// occupancy; window ~ 4 mean holding times.
+		width := meanMax / float64(max(minN, 1))
+		if width <= 0 {
+			width = 1
+		}
+		s.cal = eventq.NewCalendar[conn](width, 4*minN+8)
+	case minN <= flatScheduleMax:
+		s.useFlat = true
+		s.depAt = make([]float64, 0, minN)
+		s.depC = make([]conn, 0, minN)
+		s.depMin = -1
+	default:
+		s.heap = eventq.New[conn](minN)
+	}
 	return s
+}
+
+// flatScheduleMax is the largest min(N1, N2) for which the flat
+// cached-min departure schedule beats the 4-ary heap; beyond it the
+// O(n) min-scan loses to the heap's O(log n) sift.
+const flatScheduleMax = 64
+
+// flatPeek returns the earliest scheduled departure, rescanning only
+// when the cached argmin was invalidated by a pop.
+func (s *state) flatPeek() (float64, bool) {
+	if len(s.depAt) == 0 {
+		return 0, false
+	}
+	m := s.depMin
+	if m < 0 {
+		m = 0
+		for i, at := range s.depAt {
+			if at < s.depAt[m] {
+				m = i
+			}
+		}
+		s.depMin = m
+	}
+	return s.depAt[m], true
+}
+
+// flatPop removes and returns the earliest scheduled departure.
+func (s *state) flatPop() conn {
+	if s.depMin < 0 {
+		s.flatPeek()
+	}
+	m := s.depMin
+	v := s.depC[m]
+	n := len(s.depAt) - 1
+	s.depAt[m] = s.depAt[n]
+	s.depC[m] = s.depC[n]
+	s.depAt = s.depAt[:n]
+	s.depC = s.depC[:n]
+	s.depMin = -1
+	return v
+}
+
+// flatPush schedules a departure, keeping the cached argmin valid.
+func (s *state) flatPush(at float64, c conn) {
+	if m := s.depMin; m >= 0 && at < s.depAt[m] {
+		s.depMin = len(s.depAt)
+	}
+	s.depAt = append(s.depAt, at)
+	s.depC = append(s.depC, c)
+}
+
+// reset rewinds the state to time zero with a fresh random stream,
+// zeroing every accumulator while keeping all backing arrays.
+func (s *state) reset(stream *rng.Stream) {
+	s.rng = stream
+	clear(s.busyIn)
+	clear(s.busyOut)
+	clear(s.k)
+	clear(s.kSince)
+	clear(s.kTW)
+	clear(s.offered)
+	clear(s.blocked)
+	clear(s.occTime)
+	clear(s.fixTime)
+	s.occ = 0
+	s.now = 0
+	s.occSince = 0
+	s.fixSince = 0
+	s.events = 0
+	s.fixState = s.maxFix
+	s.curB = 0
+	s.curB0 = s.start
+	s.curB1 = s.start + s.batchLen
+	if s.batches == 1 {
+		s.curB1 = math.Inf(1)
+	}
+	s.free = s.free[:0]
+	for i := len(s.ports)/max(s.stride, 1) - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	switch {
+	case s.cal != nil:
+		s.cal.Reset()
+	case s.useFlat:
+		s.depAt = s.depAt[:0]
+		s.depC = s.depC[:0]
+		s.depMin = -1
+	default:
+		s.heap.Reset()
+	}
+	for r := range s.classes {
+		s.nextArr[r] = s.sampleArrival(0, &s.classes[r], 0)
+	}
 }
 
 // sampleArrival draws the next class arrival time from t given count k.
 func (s *state) sampleArrival(t float64, cs *classSim, k int) float64 {
-	rate := cs.class.Rate(k) * cs.routes
-	if rate <= 0 {
+	inv := cs.invRate[k]
+	if inv < 0 {
 		return math.Inf(1)
 	}
-	return t + s.rng.Exp(rate)
+	return t + s.rng.ExpUnit()*inv
 }
 
-// accumulate adds value*dt over [t0, t1) to the per-batch areas,
-// clipping to the measurement window and splitting across batch
-// boundaries.
-func accumulate(tws []batchTW, start, batchLen float64, batches int, t0, t1, value float64) {
+// accumulate adds value*dt over [t0, t1) to the per-batch areas in
+// out, clipping to the measurement window [start, start +
+// batchLen*batches) and splitting across batch boundaries. The
+// overwhelmingly common case — both endpoints inside one batch — is a
+// single add; only spans that actually cross boundaries pay the
+// splitting loop, which is O(spanned batches).
+func accumulate(out []float64, start, batchLen float64, batches int, t0, t1, value float64) {
 	if value == 0 { //lint:allow floatcmp skips exactly-zero accumulation; tiny areas must still integrate
 		return
 	}
@@ -268,90 +528,166 @@ func accumulate(tws []batchTW, start, batchLen float64, batches int, t0, t1, val
 	if t1 > end {
 		t1 = end
 	}
-	for t0 < t1 {
-		b := int((t0 - start) / batchLen)
-		if b >= batches {
-			return
-		}
-		bEnd := start + batchLen*float64(b+1)
+	if t0 >= t1 {
+		return
+	}
+	b := int((t0 - start) / batchLen)
+	if b >= batches {
+		return
+	}
+	bEnd := start + batchLen*float64(b+1)
+	if t1 <= bEnd {
+		// Fast path: the whole span falls in batch b.
+		out[b] += value * (t1 - t0)
+		return
+	}
+	for {
 		seg := t1
 		if bEnd < seg {
 			seg = bEnd
 		}
-		tws[b].area += value * (seg - t0)
+		out[b] += value * (seg - t0)
 		t0 = seg
+		if t0 >= t1 {
+			return
+		}
+		b++
+		if b >= batches {
+			return
+		}
+		bEnd = start + batchLen*float64(b+1)
 	}
 }
 
-// advance integrates all time-weighted statistics from s.now to t.
-func (s *state) advance(t float64) {
-	if t <= s.now {
-		s.now = math.Max(s.now, t)
+// flush adds value*dt over [t0, s.now) to the per-batch areas in out
+// (one contiguous histogram row), clipping to the measurement window.
+// The overwhelmingly common case — a span inside the current batch —
+// is one comparison and one add; warmup spans and batch-crossing
+// spans fall through to accumulate, which clips and splits.
+func (s *state) flush(out []float64, t0, value float64) {
+	if t0 >= s.curB0 {
+		// s.now < s.curB1 by the run-loop invariant, so the whole
+		// span lies in batch curB.
+		out[s.curB] += value * (s.now - t0)
 		return
 	}
-	accumulate(s.occTW, s.start, s.batchLen, s.batches, s.now, t, float64(s.occ))
-	// Occupancy histogram over the measurement window.
-	if hi, lo := math.Min(t, s.end), math.Max(s.now, s.start); hi > lo {
-		s.occHist[s.occ] += hi - lo
-	}
-	for r := range s.classes {
-		cs := &s.classes[r]
-		a := cs.class.A
-		accumulate(cs.kTW, s.start, s.batchLen, s.batches, s.now, t, float64(s.k[r]))
-		if a <= s.sw.MinN() {
-			rb := combin.Perm(s.sw.N1-s.occ, a) * combin.Perm(s.sw.N2-s.occ, a) / cs.routes
-			accumulate(cs.rbTW, s.start, s.batchLen, s.batches, s.now, t, rb)
-			if s.fixedRouteIdle(a) {
-				accumulate(cs.fixTW, s.start, s.batchLen, s.batches, s.now, t, 1)
-			}
-		}
-	}
-	s.now = t
+	accumulate(out, s.start, s.batchLen, s.batches, t0, s.now, value)
 }
 
-// fixedRouteIdle reports whether inputs 0..a-1 and outputs 0..a-1 are
-// all idle.
-func (s *state) fixedRouteIdle(a int) bool {
-	for i := 0; i < a; i++ {
+// advanceBatch moves the current-batch window forward to contain t.
+// Called only when t crossed curB1 — at most batches times per run.
+func (s *state) advanceBatch(t float64) {
+	for t >= s.curB1 && s.curB < s.batches-1 {
+		s.curB++
+		s.curB0 = s.curB1
+		s.curB1 += s.batchLen
+	}
+	if s.curB == s.batches-1 {
+		// Last batch: everything up to the horizon lands here, and
+		// rounding drift in the repeated += must not re-trigger the
+		// crossing test every event.
+		s.curB1 = math.Inf(1)
+	}
+}
+
+// flushOcc integrates the current occupancy's time-in-state row over
+// [occSince, now). Call immediately before changing s.occ, and once at
+// the end of the run.
+func (s *state) flushOcc() {
+	b := s.batches
+	s.flush(s.occTime[s.occ*b:(s.occ+1)*b], s.occSince, 1)
+	s.occSince = s.now
+}
+
+// flushFix integrates the current fixed-route prefix's time-in-state
+// row over [fixSince, now). Call immediately before recomputeFix, and
+// once at the end of the run.
+func (s *state) flushFix() {
+	b := s.batches
+	s.flush(s.fixTime[s.fixState*b:(s.fixState+1)*b], s.fixSince, 1)
+	s.fixSince = s.now
+}
+
+// flushK integrates class r's concurrency at its current value over
+// [kSince[r], now). Call immediately before changing k[r], and once
+// at the end of the run.
+func (s *state) flushK(r int) {
+	s.flush(s.kTW[r*s.batches:(r+1)*s.batches], s.kSince[r], float64(s.k[r]))
+	s.kSince[r] = s.now
+}
+
+// recomputeFix rescans the fixed-route prefix: fixState becomes the
+// largest a (capped at maxFix) with inputs 0..a-1 and outputs 0..a-1
+// all idle. Called only when a port below maxFix toggled.
+func (s *state) recomputeFix() {
+	f := s.maxFix
+	for i := 0; i < s.maxFix; i++ {
 		if s.busyIn[i] || s.busyOut[i] {
-			return false
+			f = i
+			break
 		}
 	}
-	return true
+	s.fixState = f
 }
 
-// batchOf returns the measurement batch index for time t, or -1.
-func (s *state) batchOf(t float64) int {
-	if t < s.start || t >= s.end {
-		return -1
-	}
-	b := int((t - s.start) / s.batchLen)
-	if b >= s.batches {
-		b = s.batches - 1
-	}
-	return b
-}
-
+// run dispatches to the fused fast loop when its preconditions hold
+// (flat departure schedule, no admission policy, and port counts that
+// fit the loop's 64-bit busy bitmasks), else to the generic loop.
+// Both produce bit-identical trajectories for the same stream:
+// runFast is a register-allocated transcription of runGeneric, pinned
+// by TestRunFastMatchesGeneric.
 func (s *state) run(maxEvents int64) error {
+	if s.useFlat && s.admit == nil && s.sw.N1 <= 64 && s.sw.N2 <= 64 {
+		return s.runFast(maxEvents)
+	}
+	return s.runGeneric(maxEvents)
+}
+
+func (s *state) runGeneric(maxEvents int64) error {
 	for {
 		// Next event: earliest departure or class arrival.
-		t := math.Inf(1)
-		kind := -1 // -1 none, -2 departure, r >= 0 arrival of class r
-		if at, ok := s.deps.PeekTime(); ok {
-			t = at
-			kind = -2
+		var t float64
+		var ok bool
+		switch {
+		case s.useFlat:
+			t, ok = s.flatPeek()
+		case s.cal != nil:
+			t, ok = s.cal.PeekTime()
+		default:
+			t, ok = s.heap.PeekTime()
 		}
-		for r := range s.classes {
-			if s.classes[r].nextArr < t {
-				t = s.classes[r].nextArr
+		kind := -1 // -1 none, -2 departure, r >= 0 arrival of class r
+		if ok {
+			kind = -2
+		} else {
+			t = math.Inf(1)
+		}
+		for r, ta := range s.nextArr {
+			if ta < t {
+				t = ta
 				kind = r
 			}
 		}
 		if kind == -1 || t >= s.end {
-			s.advance(s.end)
+			s.now = s.end
+			// Force the final flushes through the clipping slow path:
+			// the last spans may cross any number of batches.
+			s.curB0 = math.Inf(1)
+			s.flushOcc()
+			s.flushFix()
+			for r := range s.classes {
+				s.flushK(r)
+			}
 			return nil
 		}
-		s.advance(t)
+		// Event times are monotone (departures are scheduled in the
+		// future, arrival clocks are resampled past now), so advancing
+		// the clock is a plain store; all time-weighted statistics
+		// integrate lazily when their state next changes.
+		s.now = t
+		if t >= s.curB1 {
+			s.advanceBatch(t)
+		}
 		s.events++
 		if s.events > maxEvents {
 			return fmt.Errorf("sim: exceeded %d events before horizon; load too high for the configured horizon", maxEvents)
@@ -365,67 +701,142 @@ func (s *state) run(maxEvents int64) error {
 }
 
 func (s *state) depart() {
-	_, d := s.deps.Pop()
-	for _, i := range d.inputs {
-		s.busyIn[i] = false
+	var d conn
+	switch {
+	case s.useFlat:
+		d = s.flatPop()
+	case s.cal != nil:
+		_, d = s.cal.Pop()
+	default:
+		_, d = s.heap.Pop()
 	}
-	for _, j := range d.outputs {
-		s.busyOut[j] = false
+	r := int(d.class)
+	cs := &s.classes[r]
+	a := cs.a
+	base := int(d.slot) * s.stride
+	low := false
+	for i := 0; i < a; i++ {
+		in := s.ports[base+i]
+		out := s.ports[base+a+i]
+		s.busyIn[in] = false
+		s.busyOut[out] = false
+		if int(in) < s.maxFix || int(out) < s.maxFix {
+			low = true
+		}
 	}
-	s.occ -= len(d.inputs)
-	s.k[d.class]--
+	s.free = append(s.free, d.slot)
+	s.flushOcc()
+	s.occ -= a
+	s.flushK(r)
+	s.k[r]--
+	if low {
+		s.flushFix()
+		s.recomputeFix()
+	}
 	// The class arrival rate changed with k: resample its clock.
-	cs := &s.classes[d.class]
-	cs.nextArr = s.sampleArrival(s.now, cs, s.k[d.class])
+	// Poisson classes keep theirs — the rate did not change, and the
+	// exponential residual is memoryless.
+	if cs.kDep {
+		s.nextArr[r] = s.sampleArrival(s.now, cs, s.k[r])
+	}
 }
 
 func (s *state) arrive(r int) {
 	cs := &s.classes[r]
-	a := cs.class.A
-	if b := s.batchOf(s.now); b >= 0 {
-		cs.offered[b]++
+	a := cs.a
+	// Measurement batch of this arrival instant, read off the run
+	// loop's current-batch cursor; -1 during warmup (s.now < s.end
+	// always holds for events).
+	b := -1
+	if s.now >= s.start {
+		b = s.curB
+		s.offered[r*s.batches+b]++
 	}
 	// Admission policy first, then draw a_r distinct inputs and
-	// outputs uniformly.
-	ok := a <= s.sw.N1 && a <= s.sw.N2
-	if ok && s.admit != nil && !s.admit(s.k, r) {
+	// outputs uniformly. The arrival clock only fires for classes
+	// with routes > 0, so a fits the fabric here.
+	ok := true
+	if s.admit != nil && !s.admit(s.k, r) {
 		ok = false
 	}
 	if ok {
-		sampleDistinct(s.rng, s.sw.N1, a, s.pickIn)
-		sampleDistinct(s.rng, s.sw.N2, a, s.pickOut)
-		for i := 0; i < a; i++ {
-			if s.busyIn[s.pickIn[i]] || s.busyOut[s.pickOut[i]] {
-				ok = false
-				break
+		if a == 1 {
+			in, out := s.pickOne()
+			s.pickIn[0] = in
+			s.pickOut[0] = out
+			ok = !s.busyIn[in] && !s.busyOut[out]
+		} else {
+			sampleDistinct(s.rng, s.sw.N1, a, s.pickIn)
+			sampleDistinct(s.rng, s.sw.N2, a, s.pickOut)
+			for i := 0; i < a; i++ {
+				if s.busyIn[s.pickIn[i]] || s.busyOut[s.pickOut[i]] {
+					ok = false
+					break
+				}
 			}
 		}
 	}
 	if !ok {
-		if b := s.batchOf(s.now); b >= 0 {
-			cs.blocked[b]++
+		if b >= 0 {
+			s.blocked[r*s.batches+b]++
 		}
 		// Blocked-and-cleared: k unchanged, clock rate unchanged, but
 		// the exponential clock must still be redrawn past now.
-		cs.nextArr = s.sampleArrival(s.now, cs, s.k[r])
+		s.nextArr[r] = s.sampleArrival(s.now, cs, s.k[r])
 		return
 	}
-	inputs := make([]int, a)
-	outputs := make([]int, a)
-	copy(inputs, s.pickIn[:a])
-	copy(outputs, s.pickOut[:a])
+	slot := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	base := int(slot) * s.stride
+	low := false
 	for i := 0; i < a; i++ {
-		s.busyIn[inputs[i]] = true
-		s.busyOut[outputs[i]] = true
+		in := s.pickIn[i]
+		out := s.pickOut[i]
+		s.ports[base+i] = int32(in)
+		s.ports[base+a+i] = int32(out)
+		s.busyIn[in] = true
+		s.busyOut[out] = true
+		if in < s.maxFix || out < s.maxFix {
+			low = true
+		}
 	}
+	s.flushOcc()
 	s.occ += a
+	s.flushK(r)
 	s.k[r]++
-	s.deps.Push(s.now+cs.service.Sample(s.rng), departure{
-		class:   r,
-		inputs:  inputs,
-		outputs: outputs,
-	})
-	cs.nextArr = s.sampleArrival(s.now, cs, s.k[r])
+	if low {
+		s.flushFix()
+		s.recomputeFix()
+	}
+	var hold float64
+	if cs.expMean > 0 {
+		hold = s.rng.ExpUnit() * cs.expMean
+	} else {
+		hold = cs.service.Sample(s.rng)
+	}
+	d := conn{class: int32(r), slot: slot}
+	switch {
+	case s.useFlat:
+		s.flatPush(s.now+hold, d)
+	case s.cal != nil:
+		s.cal.Push(s.now+hold, d)
+	default:
+		s.heap.Push(s.now+hold, d)
+	}
+	s.nextArr[r] = s.sampleArrival(s.now, cs, s.k[r])
+}
+
+// pickOne draws one input and one output port index for a
+// single-route (a = 1) arrival. Power-of-two fabrics pay one 64-bit
+// draw for both picks; others pay two rejection draws. runFast
+// inlines exactly this logic — the two paths must stay draw-for-draw
+// identical (TestRunFastMatchesGeneric pins it).
+func (s *state) pickOne() (in, out int) {
+	if s.pairDraw {
+		u := s.rng.Uint64()
+		return int(u) & s.mask1, int(u>>32) & s.mask2
+	}
+	return s.rng.Intn(s.sw.N1), s.rng.Intn(s.sw.N2)
 }
 
 // sampleDistinct fills out[:a] with a distinct uniform indices from
@@ -447,54 +858,121 @@ func sampleDistinct(stream *rng.Stream, n, a int, out []int) {
 	}
 }
 
-func (s *state) results(level float64) *Result {
-	res := &Result{Events: s.events}
-	occBatches := make([]float64, s.batches)
-	for b := range occBatches {
-		occBatches[b] = s.occTW[b].area / s.batchLen
+// rawClass is one replication's per-batch record for one class.
+type rawClass struct {
+	offered, blocked []int64
+	// Per-batch batch means: concurrency, Rao-Blackwellized route
+	// idle probability, fixed-route idle fraction.
+	kB, rbB, fxB []float64
+}
+
+// raw is one replication's per-batch record, the mergeable unit the
+// farm pools across replications before interval construction.
+type raw struct {
+	events  int64
+	occB    []float64 // per-batch mean occupancy
+	occHist []float64 // time with occupancy s, unnormalized
+	classes []rawClass
+}
+
+// extract folds the time-in-state histograms against the per-class
+// measure tables and snapshots every per-batch series. The returned
+// raw is independent of the state, which may be reset and reused.
+func (s *state) extract() *raw {
+	b := s.batches
+	minN := s.sw.MinN()
+	out := &raw{
+		events:  s.events,
+		occB:    make([]float64, b),
+		occHist: make([]float64, minN+1),
+		classes: make([]rawClass, len(s.classes)),
 	}
-	occCI := stats.BatchMeans(occBatches, level)
+	inv := 1 / s.batchLen
+	for st := 0; st <= minN; st++ {
+		row := s.occTime[st*b : (st+1)*b]
+		tot := 0.0
+		for i, v := range row {
+			out.occB[i] += float64(st) * v * inv
+			tot += v
+		}
+		out.occHist[st] = tot
+	}
+	for r := range s.classes {
+		cs := &s.classes[r]
+		rc := &out.classes[r]
+		rc.offered = append([]int64(nil), s.offered[r*b:(r+1)*b]...)
+		rc.blocked = append([]int64(nil), s.blocked[r*b:(r+1)*b]...)
+		rc.kB = make([]float64, b)
+		for i, v := range s.kTW[r*b : (r+1)*b] {
+			rc.kB[i] = v * inv
+		}
+		// Rao-Blackwellized route idle probability: a function of the
+		// occupancy alone, recovered from the occupancy-time rows.
+		rc.rbB = make([]float64, b)
+		if cs.routes > 0 {
+			for st := 0; st <= minN; st++ {
+				rb := combin.Perm(s.sw.N1-st, cs.a) * combin.Perm(s.sw.N2-st, cs.a) / cs.routes
+				if rb == 0 { //lint:allow floatcmp exact zero above full occupancy; skips the row fold
+					continue
+				}
+				row := s.occTime[st*b : (st+1)*b]
+				for i, v := range row {
+					rc.rbB[i] += rb * v * inv
+				}
+			}
+		}
+		// Fixed-route idle: time with idle prefix >= a.
+		rc.fxB = make([]float64, b)
+		if cs.a <= s.maxFix {
+			for f := cs.a; f <= s.maxFix; f++ {
+				row := s.fixTime[f*b : (f+1)*b]
+				for i, v := range row {
+					rc.fxB[i] += v * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// finalize builds the reported Result from one replication's record.
+func finalize(w *raw, level float64, batches int) *Result {
+	res := &Result{Events: w.events}
+	occCI := stats.BatchMeans(w.occB, level)
 	res.MeanOccupancy = occCI.Mean
-	res.Utilization = occCI.Mean / float64(s.sw.MinN())
+	res.Utilization = occCI.Mean / float64(len(w.occHist)-1)
 	total := 0.0
-	for _, v := range s.occHist {
+	for _, v := range w.occHist {
 		total += v
 	}
 	if total > 0 {
-		res.Occupancy = make([]float64, len(s.occHist))
-		for i, v := range s.occHist {
+		res.Occupancy = make([]float64, len(w.occHist))
+		for i, v := range w.occHist {
 			res.Occupancy[i] = v / total
 		}
 	}
-
-	for r := range s.classes {
-		cs := &s.classes[r]
-		kb := make([]float64, s.batches)
-		rb := make([]float64, s.batches)
-		fx := make([]float64, s.batches)
+	for r := range w.classes {
+		rc := &w.classes[r]
 		var blockBatches []float64
 		var offered, blocked int64
-		for b := 0; b < s.batches; b++ {
-			kb[b] = cs.kTW[b].area / s.batchLen
-			rb[b] = cs.rbTW[b].area / s.batchLen
-			fx[b] = cs.fixTW[b].area / s.batchLen
-			offered += cs.offered[b]
-			blocked += cs.blocked[b]
-			if cs.offered[b] > 0 {
-				blockBatches = append(blockBatches, float64(cs.blocked[b])/float64(cs.offered[b]))
+		for b := 0; b < batches; b++ {
+			offered += rc.offered[b]
+			blocked += rc.blocked[b]
+			if rc.offered[b] > 0 {
+				blockBatches = append(blockBatches, float64(rc.blocked[b])/float64(rc.offered[b]))
 			}
 		}
 		cr := ClassResult{
 			Offered:         offered,
 			Blocked:         blocked,
-			Concurrency:     stats.BatchMeans(kb, level),
-			TimeNonBlocking: stats.BatchMeans(rb, level),
-			FixedRouteIdle:  stats.BatchMeans(fx, level),
+			Concurrency:     stats.BatchMeans(rc.kB, level),
+			TimeNonBlocking: stats.BatchMeans(rc.rbB, level),
+			FixedRouteIdle:  stats.BatchMeans(rc.fxB, level),
 		}
 		if len(blockBatches) >= 2 {
 			cr.CallBlocking = stats.BatchMeans(blockBatches, level)
 		} else {
-			cr.CallBlocking = stats.CI{Mean: math.NaN(), HalfWidth: math.Inf(1), Level: level}
+			cr.CallBlocking = stats.CI{Mean: math.NaN(), HalfWidth: math.Inf(1), SE: math.Inf(1), Level: level}
 		}
 		res.Classes = append(res.Classes, cr)
 	}

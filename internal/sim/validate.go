@@ -1,0 +1,102 @@
+// This file implements the farm-vs-analytic validation harness: run a
+// replication farm and score every simulated measure against the
+// product-form solver's exact answer as a z-statistic. It is the
+// standing safety net the CI sim-validate job runs — the check that
+// the fast engine still simulates the model the paper solves.
+
+package sim
+
+import (
+	"math"
+
+	"xbar/internal/core"
+)
+
+// ValidationMeasure is one simulated-vs-analytic comparison.
+type ValidationMeasure struct {
+	// Class indexes the switch class, or -1 for switch-level measures.
+	Class int
+	// Name identifies the measure ("concurrency", "time non-blocking",
+	// "call blocking", "mean occupancy").
+	Name string
+	// Sim and SE are the farm's pooled estimate and its standard
+	// error; Analytic is the exact product-form value.
+	Sim, SE, Analytic float64
+	// Z is the studentized discrepancy (Sim - Analytic) / SE.
+	Z float64
+}
+
+// Validation is the outcome of one farm-vs-analytic sweep.
+type Validation struct {
+	// Farm is the pooled simulation result the measures were read from.
+	Farm *FarmResult
+	// Analytic is the product-form solution they were scored against.
+	Analytic *core.Result
+	// Measures lists every comparison.
+	Measures []ValidationMeasure
+	// MaxAbsZ is the largest |Z| over Measures — the single number a
+	// gate thresholds (3 would flag a 3-sigma disagreement).
+	MaxAbsZ float64
+}
+
+// Validate runs the replication farm for fc and scores it against
+// core.Solve on the same switch. Per class it compares the
+// Rao-Blackwellized time congestion against B_r(N) and the mean
+// concurrency against E_r(N); for Poisson classes it additionally
+// compares call congestion (PASTA makes it equal time congestion);
+// switch-wide it compares mean occupancy against sum_r a_r E_r(N).
+//
+// An estimator with a degenerate (zero or non-finite) standard error
+// scores Z = 0 when it agrees exactly with the analytic value and
+// +Inf otherwise, so a silent all-zero simulation cannot pass.
+func Validate(fc FarmConfig) (*Validation, error) {
+	analytic, err := core.Solve(fc.Switch)
+	if err != nil {
+		return nil, err
+	}
+	farm, err := Farm(fc)
+	if err != nil {
+		return nil, err
+	}
+	v := &Validation{Farm: farm, Analytic: analytic}
+	add := func(class int, name string, sim, se, want float64) {
+		z := zScore(sim, se, want)
+		v.Measures = append(v.Measures, ValidationMeasure{
+			Class: class, Name: name, Sim: sim, SE: se, Analytic: want, Z: z,
+		})
+		if az := math.Abs(z); az > v.MaxAbsZ {
+			v.MaxAbsZ = az
+		}
+	}
+	sumAE := 0.0
+	for r, c := range fc.Switch.Classes {
+		cr := farm.Classes[r]
+		sumAE += float64(c.A) * analytic.Concurrency[r]
+		if c.A > fc.Switch.MinN() {
+			// Zero candidate routes: the class never offers traffic
+			// and every estimator is identically zero, matching the
+			// model's E_r = 0. Nothing to studentize.
+			continue
+		}
+		add(r, "time non-blocking", cr.TimeNonBlocking.Mean, cr.TimeNonBlocking.SE, analytic.NonBlocking[r])
+		add(r, "concurrency", cr.Concurrency.Mean, cr.Concurrency.SE, analytic.Concurrency[r])
+		if c.IsPoisson() {
+			add(r, "call blocking", cr.CallBlocking.Mean, cr.CallBlocking.SE, analytic.Blocking[r])
+		}
+	}
+	add(-1, "mean occupancy", farm.MeanOccupancy.Mean, farm.MeanOccupancy.SE, sumAE)
+	return v, nil
+}
+
+// zScore studentizes sim against want, handling degenerate standard
+// errors: exact agreement scores 0, disagreement without a usable
+// error estimate scores +Inf (it can never pass a gate).
+func zScore(sim, se, want float64) float64 {
+	if se > 0 && !math.IsInf(se, 1) && !math.IsNaN(sim) {
+		return (sim - want) / se
+	}
+	if sim == want { //lint:allow floatcmp degenerate-SE escape hatch: exact agreement is the only pass
+		return 0
+	}
+	return math.Inf(1)
+}

@@ -90,6 +90,7 @@ func (tw *TimeWeighted) Duration() float64 { return tw.duration }
 type CI struct {
 	Mean      float64
 	HalfWidth float64
+	SE        float64 // standard error of the mean (HalfWidth / t-quantile)
 	Level     float64 // e.g. 0.95
 	N         int     // batches or samples behind the estimate
 }
@@ -118,8 +119,10 @@ func BatchMeans(batches []float64, level float64) CI {
 	ci := CI{Mean: w.Mean(), Level: level, N: n}
 	if n >= 2 {
 		se := w.StdDev() / math.Sqrt(float64(n))
+		ci.SE = se
 		ci.HalfWidth = TQuantile(n-1, level) * se
 	} else {
+		ci.SE = math.Inf(1)
 		ci.HalfWidth = math.Inf(1)
 	}
 	return ci

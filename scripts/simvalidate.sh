@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Farm-vs-analytic validation sweep: run the replication farm on
+# representative switches — Poisson narrowband, bursty (Pascal),
+# smooth (Bernoulli), and a multi-rate mix — and gate every pooled
+# estimate within 3 sigma of the product-form solution (xbarsim
+# -validate, internal/sim.Validate). Seeds are fixed, so each gate is
+# deterministic: a failure is a real estimator or engine regression,
+# never a flake. CI runs this as the sim-validate job; locally:
+# `make sim-validate`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)/xbarsim"
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/xbarsim
+
+run() {
+    echo "== xbarsim -validate $*"
+    "$bin" -validate -max-z 3 -reps 8 -warmup 2000 -horizon 20000 "$@"
+    echo
+}
+
+# Poisson narrowband: the Erlang regime, PASTA makes call and time
+# congestion coincide.
+run -seed 101 -n1 16 -n2 16 -class poisson:1:0.03:0:1
+
+# Bursty (Pascal, beta > 0): peaked traffic, call congestion above
+# time congestion.
+run -seed 102 -n1 16 -n2 16 -class bursty:1:0.012:0.012:1
+
+# Smooth (Bernoulli, beta < 0): finite sources, call congestion below
+# time congestion.
+run -seed 103 -n1 12 -n2 12 -class smooth:1:0.06:-0.002:1
+
+# Multi-rate mix: narrowband Poisson against a wideband a=2 class on
+# an asymmetric fabric.
+run -seed 104 -n1 8 -n2 12 -class narrow:1:0.04:0:1 -class wide:2:0.004:0:0.5
+
+echo "sim-validate: all sweeps within 3 sigma"
