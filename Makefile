@@ -4,7 +4,7 @@
 GO ?= go
 # Sequence number of the BENCH_<n>.json trajectory point `make bench`
 # writes (docs/PERFORMANCE.md); bump per PR.
-BENCH_N ?= 7
+BENCH_N ?= 8
 # Total-coverage floor `make cover` enforces (docs/PERFORMANCE.md
 # records how it was set; CI's coverage job gates on it).
 COVER_MIN ?= 86.4

@@ -340,6 +340,58 @@ func BenchmarkAlg1VsAlg2(b *testing.B) {
 	})
 }
 
+// BenchmarkAsymptoticVsExact is the dispatch-tier crossover
+// measurement behind docs/PERFORMANCE.md §9: the O(R) saddle-point
+// expansion against the O(N1*N2) exact lattice fill, per traffic type
+// (pure Poisson and a bursty BPP mix), at sizes bracketing the default
+// dispatch cutoff. The exact arm stops at N=1024 — one 4096x4096 fill
+// is minutes of wall clock, which is precisely the regime the
+// asymptotic tier exists for.
+func BenchmarkAsymptoticVsExact(b *testing.B) {
+	mixes := []struct {
+		name    string
+		classes func(n int) core.Switch
+	}{
+		{"poisson", func(n int) core.Switch {
+			return core.NewSwitch(n, n,
+				core.AggregateClass{Name: "p", A: 1, AlphaTilde: 1.12, Mu: 1})
+		}},
+		{"bpp", func(n int) core.Switch {
+			return core.NewSwitch(n, n,
+				core.AggregateClass{Name: "b1", A: 1, AlphaTilde: 0.56, BetaTilde: 0.28, Mu: 1},
+				core.AggregateClass{Name: "b2", A: 2, AlphaTilde: 0.28, BetaTilde: 0.14, Mu: 0.5})
+		}},
+	}
+	for _, mix := range mixes {
+		for _, n := range []int{256, 1024, 4096} {
+			sw := mix.classes(n)
+			b.Run(fmt.Sprintf("%s/N=%d/asym", mix.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := core.SolveAsymptotic(sw)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sinkRes = res
+				}
+			})
+			if n > 1024 {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/N=%d/exact", mix.name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Solve(sw, core.Parallel(0, 0))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sinkRes = res
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCrossCheckAllocs pins the allocation behavior of the exact
 // cross-check evaluators after the coefficient-buffer reuse: the
 // direct state sum at its feasible scale and the convolution evaluator

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDispatchFlag drives the large-N tier end to end from the CLI: a
+// 4096-port switch no lattice fill could serve, answered with the tier
+// and per-class error bounds in the report, plus the asymptotic
+// revenue table.
+func TestDispatchFlag(t *testing.T) {
+	code, out, errOut := runCapture(t, "-n1", "4096", "-n2", "4096", "-dispatch", "auto",
+		"-class", "bulk:1:1.12:0:1", "-weights", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "tier asymptotic") {
+		t.Errorf("missing tier in summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "err<=") {
+		t.Errorf("missing error-bound column:\n%s", out)
+	}
+	if !strings.Contains(out, "revenue W(N)") || !strings.Contains(out, "shadow cost") {
+		t.Errorf("missing asymptotic revenue report:\n%s", out)
+	}
+}
+
+// TestDispatchExactIdentical pins SolveAuto's bit-identity promise at
+// the CLI layer: below the cutoff the dispatched output matches the
+// plain alg1 output except for the tier annotation.
+func TestDispatchExactIdentical(t *testing.T) {
+	args := []string{"-n1", "12", "-n2", "12",
+		"-class", "v:1:0.01:0:1", "-class", "w:2:0.004:0.001:0.5"}
+	code, plain, errOut := runCapture(t, args...)
+	if code != 0 {
+		t.Fatalf("plain: exit %d, stderr: %s", code, errOut)
+	}
+	code, dispatched, errOut := runCapture(t, append(args, "-dispatch", "auto")...)
+	if code != 0 {
+		t.Fatalf("dispatched: exit %d, stderr: %s", code, errOut)
+	}
+	if want := strings.Replace(plain, "(algorithm1)", "(algorithm1, tier exact)", 1); dispatched != want {
+		t.Errorf("dispatched output differs beyond the tier tag:\n%s\nvs\n%s", dispatched, plain)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown policy", []string{"-dispatch", "sometimes"}},
+		{"tolerance without dispatch", []string{"-tolerance", "0.1"}},
+		{"dispatch with conv", []string{"-dispatch", "auto", "-alg", "conv"}},
+	}
+	for _, tc := range cases {
+		code, _, errOut := runCapture(t, tc.args...)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1 (stderr: %s)", tc.name, code, errOut)
+		}
+	}
+}

@@ -9,12 +9,20 @@
 //	     -class voice:1:0.0024:0:1 \
 //	     -class video:2:0.001:0.0005:0.5 \
 //	     [-alg alg1|alg2|direct|conv] [-weights 1,0.0001] [-occupancy] \
+//	     [-dispatch exact|auto|asymptotic] [-tolerance e] \
 //	     [-workers n] [-tile t] [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -workers and -tile select the wavefront-parallel lattice fill for
 // the alg1/alg2 evaluators (0 = automatic: sequential on small
 // switches, parallel above the cutoff). The profiling flags write
 // standard Go pprof/trace artifacts.
+//
+// -dispatch enables the large-N tier: auto answers from the
+// saddle-point expansion when the switch is past the dispatch cutoff
+// and the expansion's error bound is within -tolerance, falling back
+// to the exact recursion otherwise; asymptotic forces the expansion.
+// Asymptotic answers report the per-class relative error bound in the
+// err<= column. Dispatch composes with the alg1 evaluator only.
 //
 // Each -class flag is name:a:alphaTilde:betaTilde:mu in the paper's
 // aggregate ("tilde") units: intensity per particular input set over
@@ -48,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	occupancy := fs.Bool("occupancy", false, "print the occupancy distribution (conv evaluator)")
 	workers := fs.Int("workers", 0, "lattice-fill workers: 0 auto, 1 sequential, n parallel (alg1/alg2)")
 	tile := fs.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
+	dispatch := fs.String("dispatch", "", "large-N tier policy: exact, auto or asymptotic (empty = plain -alg evaluator)")
+	tolerance := fs.Float64("tolerance", 0, "largest per-class relative error bound auto dispatch accepts (0 = default)")
 	prof := cli.NewProfiler(fs)
 	var classes cli.ClassFlag
 	fs.Var(&classes, "class", "traffic class name:a:alphaTilde:betaTilde:mu (repeatable)")
@@ -75,14 +85,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fill := core.Parallel(*workers, *tile)
 
 	var res *core.Result
-	switch *alg {
-	case "alg1":
+	switch {
+	case *dispatch != "":
+		if *alg != "alg1" {
+			return fail(fmt.Errorf("-dispatch composes with the alg1 evaluator only, not %q", *alg))
+		}
+		var pol core.Dispatch
+		if pol, err = core.ParseDispatch(*dispatch); err == nil {
+			res, err = core.SolveAuto(sw, core.DispatchOptions{Policy: pol, Tolerance: *tolerance, Fill: fill})
+		}
+	case *tolerance != 0: //lint:allow floatcmp flag default sentinel
+		return fail(fmt.Errorf("-tolerance requires -dispatch"))
+	case *alg == "alg1":
 		res, err = core.Solve(sw, fill)
-	case "alg2":
+	case *alg == "alg2":
 		res, err = core.SolveMVA(sw, fill)
-	case "direct":
+	case *alg == "direct":
 		res, err = core.SolveDirect(sw)
-	case "conv":
+	case *alg == "conv":
 		res, err = core.SolveConvolution(sw)
 	default:
 		err = fmt.Errorf("unknown evaluator %q", *alg)
@@ -90,13 +110,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	asym := res.Tier == core.TierAsymptotic
 
-	fmt.Fprintf(stdout, "%dx%d asynchronous crossbar (%s), ln G = %.6f, utilization %.4f\n\n",
-		sw.N1, sw.N2, res.Method, res.LogG, res.Utilization())
+	tier := ""
+	if res.Tier != "" {
+		tier = ", tier " + res.Tier
+	}
+	fmt.Fprintf(stdout, "%dx%d asynchronous crossbar (%s%s), ln G = %.6f, utilization %.4f\n\n",
+		sw.N1, sw.N2, res.Method, tier, res.LogG, res.Utilization())
 	headers := []string{"class", "a", "rho(route)", "Z", "blocking", "non-blocking", "E[k]", "throughput"}
+	if asym {
+		headers = append(headers, "err<=")
+	}
 	var rows [][]string
 	for i, c := range sw.Classes {
-		rows = append(rows, []string{
+		row := []string{
 			c.Name,
 			strconv.Itoa(c.A),
 			report.FormatFloat(c.Rho()),
@@ -105,7 +133,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			report.FormatFloat(res.NonBlocking[i]),
 			report.FormatFloat(res.Concurrency[i]),
 			report.FormatFloat(res.Throughput(i)),
-		})
+		}
+		if asym {
+			row = append(row, report.FormatFloat(res.ErrorBound[i]))
+		}
+		rows = append(rows, row)
 	}
 	if err := report.Table(stdout, headers, rows); err != nil {
 		return fail(err)
@@ -130,28 +162,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		an, err := revenue.New(sw, ws)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stdout, "\nrevenue W(N) = %s\n", report.FormatFloat(an.W()))
-		headers := []string{"class", "w", "shadow cost", "profitable", "dW/drho (closed)", "dW/d(beta/mu)"}
-		var rrows [][]string
-		for i, c := range sw.Classes {
-			grad := "-"
-			if !c.IsPoisson() && sw.MinN() >= 2 {
-				grad = report.FormatFloat(an.GradientBetaMu(i, 1e-4))
-			}
-			rrows = append(rrows, []string{
-				c.Name,
-				report.FormatFloat(ws[i]),
-				report.FormatFloat(an.ShadowCost(i)),
-				fmt.Sprintf("%v", an.Profitable(i)),
-				report.FormatFloat(an.GradientRhoClosed(i)),
-				grad,
-			})
-		}
-		if err := report.Table(stdout, headers, rrows); err != nil {
+		if err := revenueReport(stdout, sw, ws, asym); err != nil {
 			return fail(err)
 		}
 	}
@@ -160,4 +171,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	return 0
+}
+
+// revenueReport prints the Section 4 revenue table, reading off the
+// lattice-backed analysis on the exact tier and the O(R) saddle-point
+// analysis when the blocking answer itself came from the asymptotic
+// tier — the lattice a 4096-port shadow cost would need is exactly
+// what dispatch avoided filling.
+func revenueReport(stdout io.Writer, sw core.Switch, ws []float64, asym bool) error {
+	headers := []string{"class", "w", "shadow cost", "profitable", "dW/drho (closed)", "dW/d(beta/mu)"}
+	var rows [][]string
+	var w float64
+	if asym {
+		an, err := revenue.NewAsymptotic(sw, ws)
+		if err != nil {
+			return err
+		}
+		w = an.W()
+		for i, c := range sw.Classes {
+			shadow, err := an.ShadowCost(i)
+			if err != nil {
+				return err
+			}
+			gradRho, err := an.GradientRhoClosed(i)
+			if err != nil {
+				return err
+			}
+			grad := "-"
+			if !c.IsPoisson() && sw.MinN() >= 2 {
+				g, err := an.GradientBetaMu(i, 1e-4)
+				if err != nil {
+					return err
+				}
+				grad = report.FormatFloat(g)
+			}
+			rows = append(rows, []string{
+				c.Name,
+				report.FormatFloat(ws[i]),
+				report.FormatFloat(shadow),
+				fmt.Sprintf("%v", ws[i] > shadow),
+				report.FormatFloat(gradRho),
+				grad,
+			})
+		}
+	} else {
+		an, err := revenue.New(sw, ws)
+		if err != nil {
+			return err
+		}
+		w = an.W()
+		for i, c := range sw.Classes {
+			grad := "-"
+			if !c.IsPoisson() && sw.MinN() >= 2 {
+				grad = report.FormatFloat(an.GradientBetaMu(i, 1e-4))
+			}
+			rows = append(rows, []string{
+				c.Name,
+				report.FormatFloat(ws[i]),
+				report.FormatFloat(an.ShadowCost(i)),
+				fmt.Sprintf("%v", an.Profitable(i)),
+				report.FormatFloat(an.GradientRhoClosed(i)),
+				grad,
+			})
+		}
+	}
+	fmt.Fprintf(stdout, "\nrevenue W(N) = %s\n", report.FormatFloat(w))
+	return report.Table(stdout, headers, rows)
 }

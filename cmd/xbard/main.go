@@ -8,6 +8,7 @@
 //
 //	xbard [-addr :8480] [-debug-addr 127.0.0.1:8481] \
 //	      [-workers n] [-tile t] [-cache entries] [-max-dim n] \
+//	      [-max-asym-dim n] \
 //	      [-max-body bytes] [-timeout d] [-drain d] [-max-concurrent n] \
 //	      [-max-grid-points n] \
 //	      [-cpuprofile f] [-memprofile f] [-trace f]
@@ -45,7 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers       = fs.Int("workers", 0, "wavefront fill workers per solve (0 = GOMAXPROCS divided across -max-concurrent)")
 		tile          = fs.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
 		cacheSize     = fs.Int("cache", 0, "retained operating points in the solver cache (0 = default 64)")
-		maxDim        = fs.Int("max-dim", 0, "largest accepted switch dimension (0 = default 1024)")
+		maxDim        = fs.Int("max-dim", 0, "largest switch dimension the exact tier fills a lattice for (0 = default 1024)")
+		maxAsymDim    = fs.Int("max-asym-dim", 0, "largest switch dimension under a dispatch policy; (max-dim, max-asym-dim] is asymptotic-only (0 = default 1<<20)")
 		maxConcurrent = fs.Int("max-concurrent", 0, "solver slots: concurrent fills and lattice reads (0 = GOMAXPROCS)")
 		maxGridPoints = fs.Int("max-grid-points", 0, "largest accepted /v1/grid point list (0 = default 256)")
 		maxBody       = fs.Int64("max-body", 0, "request body cap in bytes (0 = default 1 MiB)")
@@ -74,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Tile:           *tile,
 		CacheSize:      *cacheSize,
 		MaxDim:         *maxDim,
+		MaxAsymDim:     *maxAsymDim,
 		MaxConcurrent:  *maxConcurrent,
 		MaxGridPoints:  *maxGridPoints,
 		MaxBodyBytes:   *maxBody,

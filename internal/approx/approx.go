@@ -14,15 +14,33 @@
 // the paper's operating points, making it the right tool for
 // back-of-envelope sizing of very large optical fabrics. Poisson
 // classes only: state-dependent sources need the real algorithms.
+//
+// Within the large-N solver hierarchy this fixed point is the
+// zeroth-order tier: it is exactly the N -> infinity limit of the
+// saddle-point expansion in internal/asymptotic, which adds the
+// Gaussian and Edgeworth correction orders, handles BPP traffic, and
+// reports a computable error bound per class. New code sizing large
+// switches should go through core.SolveAuto (or core.SolveAsymptotic
+// directly); this package remains for the scalar limit law
+// (AsymptoticBlocking) and for callers that want the O(R) fixed point
+// without bound bookkeeping.
 package approx
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"xbar/internal/combin"
 	"xbar/internal/core"
 )
+
+// ErrUnsupportedTraffic reports a traffic class outside the fixed
+// point's domain (it handles Poisson classes only). Solve wraps it
+// with the offending class index and name, so callers branch with
+// errors.Is(err, approx.ErrUnsupportedTraffic) rather than string
+// matching.
+var ErrUnsupportedTraffic = errors.New("approx: traffic class is not Poisson")
 
 // Result holds the approximate measures.
 type Result struct {
@@ -46,7 +64,7 @@ func Solve(sw core.Switch, tol float64, maxIter int) (*Result, error) {
 	}
 	for i, c := range sw.Classes {
 		if !c.IsPoisson() {
-			return nil, fmt.Errorf("approx: class %d (%s) is not Poisson; use core.Solve", i, c.Name)
+			return nil, fmt.Errorf("class %d (%s): %w; use core.Solve or core.SolveAsymptotic", i, c.Name, ErrUnsupportedTraffic)
 		}
 	}
 	if tol <= 0 {

@@ -1,7 +1,9 @@
 package approx
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"xbar/internal/core"
@@ -108,10 +110,20 @@ func TestHighLoadStability(t *testing.T) {
 
 func TestRejectsBursty(t *testing.T) {
 	sw := core.Switch{N1: 4, N2: 4, Classes: []core.Class{
-		{A: 1, Alpha: 0.1, Beta: 0.05, Mu: 1},
+		{A: 1, Alpha: 0.1, Mu: 1, Name: "ok"},
+		{A: 1, Alpha: 0.1, Beta: 0.05, Mu: 1, Name: "peaked"},
 	}}
-	if _, err := Solve(sw, 1e-10, 1000); err == nil {
-		t.Error("bursty class accepted")
+	_, err := Solve(sw, 1e-10, 1000)
+	if err == nil {
+		t.Fatal("bursty class accepted")
+	}
+	if !errors.Is(err, ErrUnsupportedTraffic) {
+		t.Errorf("error %q does not wrap ErrUnsupportedTraffic", err)
+	}
+	for _, want := range []string{"class 1", "peaked"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name the offending class (%q)", err, want)
+		}
 	}
 }
 

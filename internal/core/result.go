@@ -11,8 +11,21 @@ type Result struct {
 	// Switch is the model the result was computed for.
 	Switch Switch
 	// Method names the evaluator that produced the result
-	// ("direct", "convolution", "algorithm1", "algorithm2").
+	// ("direct", "convolution", "algorithm1", "algorithm2",
+	// "asymptotic").
 	Method string
+	// Tier records which dispatch tier answered (TierExact or
+	// TierAsymptotic) when the result came through SolveAuto,
+	// TryAsymptotic or SolveAsymptotic; empty when the caller invoked
+	// an evaluator directly.
+	Tier string
+	// ErrorBound, when non-nil, holds the asymptotic tier's
+	// self-reported per-class relative-error bounds: |measure -
+	// exact|/exact <= ErrorBound[r] for NonBlocking, Blocking and
+	// Concurrency alike. Nil for exact results. An entry at or above
+	// asymptotic.BoundUnusable means the expansion declared itself
+	// unusable for that class.
+	ErrorBound []float64
 	// NonBlocking is B_r(N) = G(N - a_r I)/G(N) (paper Eq. 4): the
 	// time-average probability that one particular candidate route for
 	// class r is entirely idle. This is time congestion; for
@@ -89,6 +102,19 @@ func (r *Result) Revenue(weights []float64) float64 {
 		w += weights[i] * e
 	}
 	return w
+}
+
+// MaxErrorBound returns the largest per-class error bound, or 0 when
+// the result is exact (ErrorBound nil): the single number dispatch
+// tolerance checks compare against.
+func (r *Result) MaxErrorBound() float64 {
+	b := 0.0
+	for _, v := range r.ErrorBound {
+		if v > b {
+			b = v
+		}
+	}
+	return b
 }
 
 // String formats the result as a one-line-per-class summary.

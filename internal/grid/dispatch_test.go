@@ -1,0 +1,126 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"xbar/internal/core"
+)
+
+// dispatchPoints mixes small exact-territory sizes (with an in-batch
+// duplicate) and sizes past the cutoff where the expansion's bound is
+// tight enough to answer.
+func dispatchPoints() []core.Switch {
+	mk := func(n int) core.Switch {
+		return core.NewSwitch(n, n,
+			core.AggregateClass{A: 1, AlphaTilde: 1.12, Mu: 1})
+	}
+	return []core.Switch{mk(16), mk(48), mk(16), mk(2048), mk(4096)}
+}
+
+// TestDispatchRouting pins the per-point tier decision and that no
+// lattice fill is ever sized by an asymptotic point: the 4096-wide
+// points join no group, so the batch's fills stay at the small exact
+// sizes.
+func TestDispatchRouting(t *testing.T) {
+	t.Parallel()
+	for _, nomemo := range []bool{false, true} {
+		opt := core.DispatchOptions{Cutoff: 64, Tolerance: 0.05}
+		e := New(Options{Workers: 2, NoMemo: nomemo, Dispatch: &opt})
+		results, err := e.Solve(dispatchPoints())
+		if err != nil {
+			t.Fatalf("nomemo=%v: %v", nomemo, err)
+		}
+		wantTier := []string{core.TierExact, core.TierExact, core.TierExact, core.TierAsymptotic, core.TierAsymptotic}
+		for i, r := range results {
+			if r.Tier != wantTier[i] {
+				t.Errorf("nomemo=%v point %d: tier %q, want %q", nomemo, i, r.Tier, wantTier[i])
+			}
+			if (r.Tier == core.TierAsymptotic) != (r.ErrorBound != nil) {
+				t.Errorf("nomemo=%v point %d: tier %q with ErrorBound %v", nomemo, i, r.Tier, r.ErrorBound)
+			}
+		}
+		if b := results[3].MaxErrorBound(); !(b > 0 && b <= 0.05) {
+			t.Errorf("nomemo=%v: n=2048 bound %v outside (0, tolerance]", nomemo, b)
+		}
+		st := e.Stats()
+		if st.Asymptotic != 2 {
+			t.Errorf("nomemo=%v: Asymptotic = %d, want 2", nomemo, st.Asymptotic)
+		}
+		if nomemo {
+			continue
+		}
+		// Memoized path: the duplicate 16x16 point is a batch hit; the
+		// two exact sizes carry different per-route rates (fixed
+		// aggregate intensity), so each fills its own lattice — but
+		// the asymptotic points added no fill; accounting balances.
+		if st.Fills != 2 || st.Unique != 2 || st.BatchHits != 1 {
+			t.Errorf("stats %+v: want Fills=2 Unique=2 BatchHits=1", st)
+		}
+		if st.Points != st.MemoHits+st.BatchHits+st.Asymptotic+st.Unique {
+			t.Errorf("stats %+v do not balance", st)
+		}
+		// A second identical batch is served entirely from the memo —
+		// including the asymptotic points.
+		again, err := e.Solve(dispatchPoints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2 := e.Stats()
+		if st2.Fills != st.Fills || st2.MemoHits != st.MemoHits+len(again) {
+			t.Errorf("repeat batch: stats %+v, want all points memo-served over %+v", st2, st)
+		}
+		for i, r := range again {
+			if r.Tier != wantTier[i] {
+				t.Errorf("repeat point %d: tier %q, want %q", i, r.Tier, wantTier[i])
+			}
+		}
+	}
+}
+
+// TestDispatchExactPathBitIdentical pins that dispatch-routed exact
+// points produce the same bits as the exact-only engine (and hence
+// fresh core.Solve): dispatch only adds the Tier stamp.
+func TestDispatchExactPathBitIdentical(t *testing.T) {
+	t.Parallel()
+	points := []core.Switch{
+		core.NewSwitch(24, 40, core.AggregateClass{A: 1, AlphaTilde: 1.5, Mu: 1},
+			core.AggregateClass{A: 2, AlphaTilde: 0.4, BetaTilde: 0.2, Mu: 0.5}),
+		core.NewSwitch(48, 48, core.AggregateClass{A: 1, AlphaTilde: 1.5, Mu: 1}),
+	}
+	opt := core.DispatchOptions{} // defaults: cutoff 512, every point exact
+	dispatched, err := New(Options{Workers: 2, Dispatch: &opt}).Solve(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(Options{Workers: 2}).Solve(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if dispatched[i].Tier != core.TierExact || dispatched[i].ErrorBound != nil {
+			t.Fatalf("point %d: tier %q bound %v, want exact/nil", i, dispatched[i].Tier, dispatched[i].ErrorBound)
+		}
+		for r := range points[i].Classes {
+			if math.Float64bits(dispatched[i].Blocking[r]) != math.Float64bits(plain[i].Blocking[r]) ||
+				math.Float64bits(dispatched[i].Concurrency[r]) != math.Float64bits(plain[i].Concurrency[r]) {
+				t.Errorf("point %d class %d: dispatch-routed exact result differs from exact-only engine", i, r)
+			}
+		}
+	}
+}
+
+// TestDispatchForcedAsymptoticError pins error propagation: a forced
+// asymptotic policy reports the expansion's failure with the point
+// index instead of silently falling back.
+func TestDispatchForcedAsymptoticError(t *testing.T) {
+	t.Parallel()
+	opt := core.DispatchOptions{Policy: core.DispatchAsymptotic}
+	e := New(Options{Workers: 1, Dispatch: &opt})
+	// Saturated Pascal: per-route slope >= 1 fails validation inside
+	// the expansion path just as it does for the exact tier.
+	bad := core.Switch{N1: 8, N2: 8, Classes: []core.Class{{A: 1, Alpha: 1, Beta: 2, Mu: 1}}}
+	if _, err := e.Solve([]core.Switch{bad}); err == nil {
+		t.Error("invalid point accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package revenue
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/combin"
+	"xbar/internal/core"
+)
+
+// AsymAnalysis evaluates the same Section 4 revenue measures as
+// Analysis, but on the saddle-point tier (core.SolveAsymptotic): O(R)
+// per operating point instead of a lattice fill, which is what makes
+// revenue and admission answers possible at sizes the exact solver
+// cannot fill. Shadow costs difference two asymptotic solves — the
+// one at N and one at N - a_r I per class — so the per-class bounds
+// reported by Bound are indicative (each operand's own relative
+// bound), not a certified bound on the difference; the expansion's
+// property tests show the operands track the exact values far more
+// tightly than the bounds at the sizes this tier serves.
+type AsymAnalysis struct {
+	sw      core.Switch
+	weights []float64
+	// at is the asymptotic solve at the full size; reduced holds the
+	// lazily computed W(N - a I) per distinct bandwidth a.
+	at      *core.Result
+	reduced map[int]float64
+}
+
+// NewAsymptotic builds an AsymAnalysis. weights must contain one
+// revenue rate per traffic class.
+func NewAsymptotic(sw core.Switch, weights []float64) (*AsymAnalysis, error) {
+	if len(weights) != len(sw.Classes) {
+		return nil, fmt.Errorf("revenue: %d weights for %d classes", len(weights), len(sw.Classes))
+	}
+	res, err := core.SolveAsymptotic(sw)
+	if err != nil {
+		return nil, err
+	}
+	return &AsymAnalysis{sw: sw, weights: weights, at: res, reduced: make(map[int]float64)}, nil
+}
+
+// Switch returns the analyzed switch.
+func (a *AsymAnalysis) Switch() core.Switch { return a.sw }
+
+// Result returns the full-size asymptotic solve (Tier, ErrorBound and
+// all measures).
+func (a *AsymAnalysis) Result() *core.Result { return a.at }
+
+// W returns the average revenue W(N) = sum_r w_r E_r(N).
+func (a *AsymAnalysis) W() float64 { return a.at.Revenue(a.weights) }
+
+// wReduced returns W(N1-a, N2-a), solving and caching per distinct a.
+// A switch reduced to nonpositive dimensions carries no traffic.
+func (a *AsymAnalysis) wReduced(band int) (float64, error) {
+	if w, ok := a.reduced[band]; ok {
+		return w, nil
+	}
+	n1, n2 := a.sw.N1-band, a.sw.N2-band
+	if n1 < 1 || n2 < 1 {
+		a.reduced[band] = 0
+		return 0, nil
+	}
+	res, err := core.SolveAsymptotic(core.Switch{N1: n1, N2: n2, Classes: a.sw.Classes})
+	if err != nil {
+		return 0, fmt.Errorf("revenue: reduced switch %dx%d: %w", n1, n2, err)
+	}
+	w := res.Revenue(a.weights)
+	a.reduced[band] = w
+	return w, nil
+}
+
+// ShadowCost returns DeltaW_r(N) = W(N) - W(N - a_r I): the revenue
+// displaced by holding one more class-r connection's worth of ports.
+func (a *AsymAnalysis) ShadowCost(r int) (float64, error) {
+	wr, err := a.wReduced(a.sw.Classes[r].A)
+	if err != nil {
+		return 0, err
+	}
+	return a.W() - wr, nil
+}
+
+// Profitable reports whether admitting more class-r load raises total
+// revenue: w_r exceeds the shadow cost.
+func (a *AsymAnalysis) Profitable(r int) (bool, error) {
+	shadow, err := a.ShadowCost(r)
+	if err != nil {
+		return false, err
+	}
+	return a.weights[r] > shadow, nil
+}
+
+// GradientRhoClosed returns the closed-form dW/d rho_r = P(N1,a_r)
+// P(N2,a_r) B_r(N) (w_r - DeltaW_r(N)) with every factor read off the
+// asymptotic tier, mirroring Analysis.GradientRhoClosed.
+func (a *AsymAnalysis) GradientRhoClosed(r int) (float64, error) {
+	ar := a.sw.Classes[r].A
+	if ar > a.sw.MinN() {
+		return 0, nil
+	}
+	shadow, err := a.ShadowCost(r)
+	if err != nil {
+		return 0, err
+	}
+	lead := combin.Perm(a.sw.N1, ar) * combin.Perm(a.sw.N2, ar)
+	return lead * a.at.NonBlocking[r] * (a.weights[r] - shadow), nil
+}
+
+// GradientBetaMu returns dW/d(beta_r/mu_r) by symmetric central
+// difference with relative step h, re-solving the perturbed models on
+// the asymptotic tier (two O(R) solves). Mirrors
+// Analysis.GradientBetaMu, including its step floor for classes near
+// beta = 0.
+func (a *AsymAnalysis) GradientBetaMu(r int, h float64) (float64, error) {
+	c := a.sw.Classes[r]
+	step := h * math.Max(math.Abs(c.BetaMu()), math.Max(c.Rho(), 1e-9))
+	up, err := a.perturbedW(r, step*c.Mu)
+	if err != nil {
+		return 0, err
+	}
+	down, err := a.perturbedW(r, -step*c.Mu)
+	if err != nil {
+		return 0, err
+	}
+	return (up - down) / (2 * step), nil
+}
+
+// perturbedW evaluates W with class r's beta shifted by dBeta.
+func (a *AsymAnalysis) perturbedW(r int, dBeta float64) (float64, error) {
+	classes := append([]core.Class(nil), a.sw.Classes...)
+	classes[r].Beta += dBeta
+	res, err := core.SolveAsymptotic(core.Switch{N1: a.sw.N1, N2: a.sw.N2, Classes: classes})
+	if err != nil {
+		return 0, fmt.Errorf("revenue: perturbed class %d: %w", r, err)
+	}
+	return res.Revenue(a.weights), nil
+}
+
+// Bound returns the class-r relative-error bound of the full-size
+// solve, the quantity dispatch tolerances compare against.
+func (a *AsymAnalysis) Bound(r int) float64 { return a.at.ErrorBound[r] }

@@ -53,8 +53,15 @@ type Config struct {
 	// CacheSize is the solver-cache capacity in entries (one retained
 	// lattice each, O(N1*N2) memory per entry). Default 64.
 	CacheSize int
-	// MaxDim caps accepted switch dimensions. Default 1024.
+	// MaxDim caps switch dimensions the exact tier will fill a lattice
+	// for. Default 1024.
 	MaxDim int
+	// MaxAsymDim caps switch dimensions for requests carrying a
+	// dispatch policy other than exact: the asymptotic tier is O(R)
+	// whatever the size, so the cap exists only to keep inputs sane.
+	// Sizes in (MaxDim, MaxAsymDim] are asymptotic-only — requesting
+	// one with dispatch=exact is a 422. Default 1 << 20.
+	MaxAsymDim int
 	// MaxClasses caps accepted traffic-class counts. Default 64.
 	MaxClasses int
 	// MaxSweepPoints caps one /v1/sweep request's point list.
@@ -99,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxDim == 0 {
 		c.MaxDim = 1024
 	}
+	if c.MaxAsymDim == 0 {
+		c.MaxAsymDim = 1 << 20
+	}
 	if c.MaxClasses == 0 {
 		c.MaxClasses = 64
 	}
@@ -132,6 +142,9 @@ func (c Config) validate() error {
 	if c.MaxDim < 1 || c.MaxClasses < 1 || c.MaxSweepPoints < 1 || c.MaxGridPoints < 1 {
 		return fmt.Errorf("server: limits must be >= 1 (MaxDim %d, MaxClasses %d, MaxSweepPoints %d, MaxGridPoints %d)",
 			c.MaxDim, c.MaxClasses, c.MaxSweepPoints, c.MaxGridPoints)
+	}
+	if c.MaxAsymDim < c.MaxDim {
+		return fmt.Errorf("server: MaxAsymDim %d is below MaxDim %d", c.MaxAsymDim, c.MaxDim)
 	}
 	if c.MaxConcurrent < 1 {
 		return fmt.Errorf("server: MaxConcurrent %d, must be >= 1", c.MaxConcurrent)

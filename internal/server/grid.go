@@ -37,6 +37,7 @@ type GridPoint struct {
 // the revenue W at every point.
 type GridRequest struct {
 	SwitchSpec
+	DispatchSpec
 	Algorithm string      `json:"algorithm,omitempty"`
 	Points    []GridPoint `json:"points"`
 	Weights   []float64   `json:"weights,omitempty"`
@@ -45,24 +46,31 @@ type GridRequest struct {
 // GridResult is one point of the grid reply, in request point order.
 // Blocking and Concurrency are in request class order. (No throughput
 // here: points sharing a fill may differ in mu, and blocking,
-// concurrency and W are the mu-invariant measures.)
+// concurrency and W are the mu-invariant measures.) Tier is present
+// when the request carried a dispatch policy — decided per point —
+// and ErrorBound accompanies asymptotic points.
 type GridResult struct {
 	N1          int       `json:"n1"`
 	N2          int       `json:"n2"`
+	Tier        string    `json:"tier,omitempty"`
 	Blocking    []float64 `json:"blocking"`
 	Concurrency []float64 `json:"concurrency"`
+	ErrorBound  []float64 `json:"error_bound,omitempty"`
 	W           *float64  `json:"w,omitempty"`
 }
 
 // GridResponse is the POST /v1/grid reply. Models counts the distinct
 // lattice fills the batch reduced to; Cached counts how many of those
-// were already resident in (or in flight on) the solver cache.
+// were already resident in (or in flight on) the solver cache;
+// Asymptotic counts the points the saddle-point tier answered without
+// any lattice.
 type GridResponse struct {
-	Method  string       `json:"method"`
-	Points  int          `json:"points"`
-	Models  int          `json:"models"`
-	Cached  int          `json:"cached"`
-	Results []GridResult `json:"results"`
+	Method     string       `json:"method"`
+	Points     int          `json:"points"`
+	Models     int          `json:"models"`
+	Cached     int          `json:"cached"`
+	Asymptotic int          `json:"asymptotic,omitempty"`
+	Results    []GridResult `json:"results"`
 }
 
 // applyGridPoint materializes one point's SwitchSpec. Deltas apply to
@@ -116,8 +124,12 @@ func gridRow(n1, n2 int, res *core.Result, weights []float64) GridResult {
 	gr := GridResult{
 		N1:          n1,
 		N2:          n2,
+		Tier:        res.Tier,
 		Blocking:    copyFloats(res.Blocking),
 		Concurrency: copyFloats(res.Concurrency),
+	}
+	if res.ErrorBound != nil {
+		gr.ErrorBound = copyFloats(res.ErrorBound)
 	}
 	if weights != nil {
 		wv := res.Revenue(weights)
@@ -161,22 +173,43 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 
+	opt, err := s.parseDispatch(req.DispatchSpec)
+	if err != nil {
+		return err
+	}
+
 	// Materialize and validate every point, then group by canonical
 	// class key: points differing only in dimensions (or in nothing the
-	// solver reads) share one entry at the group maximum.
+	// solver reads) share one entry at the group maximum. Under a
+	// dispatch policy the tier is decided per point first, and
+	// asymptotic points join no group — one huge point cannot inflate
+	// a group's fill dimensions (the grid.Engine rule).
 	points := make([]core.Switch, len(req.Points))
 	groups := make(map[string]*gridGroup)
 	var order []string
+	asymCount := 0
+	resp := GridResponse{Points: len(req.Points), Results: make([]GridResult, len(req.Points))}
 	for i, p := range req.Points {
 		spec, err := applyGridPoint(req.SwitchSpec, p)
 		if err != nil {
 			return pointError(i, err)
 		}
-		sw, err := s.buildSwitch(spec)
+		sw, err := s.buildSwitchFor(spec, opt)
 		if err != nil {
 			return pointError(i, err)
 		}
 		points[i] = sw
+		if opt != nil {
+			res, ok, err := s.tryAsymptotic(sw, opt)
+			if err != nil {
+				return pointError(i, err)
+			}
+			if ok {
+				resp.Results[i] = gridRow(sw.N1, sw.N2, res, req.Weights)
+				asymCount++
+				continue
+			}
+		}
 		ck := grid.ClassKey(sw.Classes)
 		g, ok := groups[ck]
 		if !ok {
@@ -188,8 +221,11 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) error {
 		g.n2 = max(g.n2, sw.N2)
 		g.members = append(g.members, i)
 	}
-
-	resp := GridResponse{Points: len(req.Points), Models: len(order), Results: make([]GridResult, len(req.Points))}
+	resp.Models = len(order)
+	resp.Asymptotic = asymCount
+	if len(order) == 0 {
+		resp.Method = "asymptotic"
+	}
 	for _, ck := range order {
 		g := groups[ck]
 		groupSw := core.Switch{N1: g.n1, N2: g.n2, Classes: g.classes}
@@ -206,7 +242,11 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) error {
 		}
 		resp.Method = e.result().Method
 		for _, i := range g.members {
-			resp.Results[i] = gridRow(points[i].N1, points[i].N2, e.resultAt(points[i].N1, points[i].N2), req.Weights)
+			row := gridRow(points[i].N1, points[i].N2, e.resultAt(points[i].N1, points[i].N2), req.Weights)
+			if opt != nil {
+				row.Tier = core.TierExact
+			}
+			resp.Results[i] = row
 		}
 		e.unlock()
 		s.cache.release(e)

@@ -50,11 +50,18 @@ func badRequest(format string, args ...any) error {
 // is checked finite up front — the solvers' nanguard domain
 // preconditions (finite, validated inputs) are enforced at the edge.
 func (s *Server) buildSwitch(spec SwitchSpec) (core.Switch, error) {
+	return s.buildSwitchFor(spec, nil)
+}
+
+// buildSwitchFor is buildSwitch under a dispatch policy: the
+// dimension cap follows the policy (checkDims), everything else is
+// identical.
+func (s *Server) buildSwitchFor(spec SwitchSpec, opt *core.DispatchOptions) (core.Switch, error) {
 	if spec.N1 < 1 || spec.N2 < 1 {
 		return core.Switch{}, badRequest("switch dimensions %dx%d, must be >= 1x1", spec.N1, spec.N2)
 	}
-	if spec.N1 > s.cfg.MaxDim || spec.N2 > s.cfg.MaxDim {
-		return core.Switch{}, badRequest("switch dimensions %dx%d exceed the server limit %d", spec.N1, spec.N2, s.cfg.MaxDim)
+	if err := s.checkDims(spec.N1, spec.N2, opt); err != nil {
+		return core.Switch{}, err
 	}
 	if len(spec.Classes) == 0 {
 		return core.Switch{}, badRequest("no traffic classes")
@@ -137,6 +144,10 @@ type ClassResult struct {
 	NonBlocking float64 `json:"non_blocking"`
 	Concurrency float64 `json:"concurrency"`
 	Throughput  float64 `json:"throughput"`
+	// ErrorBound is the asymptotic tier's self-reported relative-error
+	// bound for this class's measures; present only on asymptotic
+	// answers.
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // copyFloats clones one measure slice out of a solver Result. The
@@ -159,6 +170,9 @@ func classResults(spec SwitchSpec, res *core.Result) []ClassResult {
 			Concurrency: res.Concurrency[i],
 			Throughput:  res.Throughput(i),
 		}
+		if res.ErrorBound != nil {
+			out[i].ErrorBound = res.ErrorBound[i]
+		}
 	}
 	return out
 }
@@ -166,14 +180,18 @@ func classResults(spec SwitchSpec, res *core.Result) []ClassResult {
 // BlockingRequest is the POST /v1/blocking body.
 type BlockingRequest struct {
 	SwitchSpec
+	DispatchSpec
 	Algorithm string `json:"algorithm,omitempty"`
 }
 
-// BlockingResponse is the POST /v1/blocking reply.
+// BlockingResponse is the POST /v1/blocking reply. Tier is present
+// when the request carried a dispatch policy and names the tier that
+// answered ("exact" or "asymptotic").
 type BlockingResponse struct {
 	N1          int           `json:"n1"`
 	N2          int           `json:"n2"`
 	Method      string        `json:"method"`
+	Tier        string        `json:"tier,omitempty"`
 	LogG        float64       `json:"log_g"`
 	Utilization float64       `json:"utilization"`
 	Cached      bool          `json:"cached"`
@@ -189,9 +207,26 @@ func (s *Server) handleBlocking(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	sw, err := s.buildSwitch(req.SwitchSpec)
+	opt, err := s.parseDispatch(req.DispatchSpec)
 	if err != nil {
 		return err
+	}
+	sw, err := s.buildSwitchFor(req.SwitchSpec, opt)
+	if err != nil {
+		return err
+	}
+	if res, ok, err := s.tryAsymptotic(sw, opt); err != nil {
+		return err
+	} else if ok {
+		s.writeJSON(w, http.StatusOK, BlockingResponse{
+			N1: sw.N1, N2: sw.N2,
+			Method:      res.Method,
+			Tier:        res.Tier,
+			LogG:        res.LogG,
+			Utilization: res.Utilization(),
+			Classes:     classResults(req.SwitchSpec, res),
+		})
+		return nil
 	}
 	e, cached, err := s.withEntry(r, alg, sw)
 	if err != nil {
@@ -210,6 +245,9 @@ func (s *Server) handleBlocking(w http.ResponseWriter, r *http.Request) error {
 		Cached:      cached,
 		Classes:     classResults(req.SwitchSpec, res),
 	}
+	if opt != nil {
+		resp.Tier = core.TierExact
+	}
 	e.unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -222,6 +260,7 @@ func (s *Server) handleBlocking(w http.ResponseWriter, r *http.Request) error {
 // class, the in-lattice reads do not.
 type RevenueRequest struct {
 	SwitchSpec
+	DispatchSpec
 	Weights   []float64 `json:"weights"`
 	Gradients bool      `json:"gradients,omitempty"`
 	Step      float64   `json:"step,omitempty"`
@@ -235,13 +274,19 @@ type ClassRevenue struct {
 	Profitable    bool     `json:"profitable"`
 	GradRhoClosed float64  `json:"grad_rho_closed"`
 	GradBetaMu    *float64 `json:"grad_beta_mu,omitempty"`
+	// ErrorBound is the asymptotic tier's relative-error bound on the
+	// class's underlying measures (see revenue.AsymAnalysis on what it
+	// does and does not certify); present only on asymptotic answers.
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
-// RevenueResponse is the POST /v1/revenue reply.
+// RevenueResponse is the POST /v1/revenue reply. Tier is present when
+// the request carried a dispatch policy.
 type RevenueResponse struct {
 	N1      int            `json:"n1"`
 	N2      int            `json:"n2"`
 	W       float64        `json:"w"`
+	Tier    string         `json:"tier,omitempty"`
 	Cached  bool           `json:"cached"`
 	Classes []ClassRevenue `json:"classes"`
 }
@@ -251,7 +296,11 @@ func (s *Server) handleRevenue(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decode(w, r, &req); err != nil {
 		return err
 	}
-	sw, err := s.buildSwitch(req.SwitchSpec)
+	opt, err := s.parseDispatch(req.DispatchSpec)
+	if err != nil {
+		return err
+	}
+	sw, err := s.buildSwitchFor(req.SwitchSpec, opt)
 	if err != nil {
 		return err
 	}
@@ -270,6 +319,16 @@ func (s *Server) handleRevenue(w http.ResponseWriter, r *http.Request) error {
 	if !finite(step) || step <= 0 || step > 0.1 {
 		return badRequest("step %v, want 0 < step <= 0.1", req.Step)
 	}
+	if _, ok, err := s.tryAsymptotic(sw, opt); err != nil {
+		return err
+	} else if ok {
+		resp, err := asymRevenue(req, sw, step)
+		if err != nil {
+			return err
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
 	// Revenue rides the Algorithm 1 cache: the analysis's in-lattice
 	// reads and gradient re-solves run on the scaled lattice.
 	e, cached, err := s.withEntry(r, alg1, sw)
@@ -286,6 +345,9 @@ func (s *Server) handleRevenue(w http.ResponseWriter, r *http.Request) error {
 		return badRequest("%v", err)
 	}
 	resp := RevenueResponse{N1: sw.N1, N2: sw.N2, W: an.W(), Cached: cached}
+	if opt != nil {
+		resp.Tier = core.TierExact
+	}
 	for i, c := range sw.Classes {
 		cr := ClassRevenue{
 			Name:          req.Classes[i].Name,
@@ -316,6 +378,7 @@ func (s *Server) handleRevenue(w http.ResponseWriter, r *http.Request) error {
 //     switch). Pure arithmetic, no solve.
 type AdmissionRequest struct {
 	SwitchSpec
+	DispatchSpec
 	Class   int       `json:"class"`
 	Policy  string    `json:"policy,omitempty"`
 	Weights []float64 `json:"weights,omitempty"`
@@ -323,11 +386,14 @@ type AdmissionRequest struct {
 	State   []int     `json:"state,omitempty"`
 }
 
-// AdmissionResponse is the POST /v1/admission reply.
+// AdmissionResponse is the POST /v1/admission reply. Tier is present
+// when the request carried a dispatch policy and a solve ran (the
+// reservation policy is pure arithmetic — no tier).
 type AdmissionResponse struct {
 	Accept     bool     `json:"accept"`
 	Policy     string   `json:"policy"`
 	Class      int      `json:"class"`
+	Tier       string   `json:"tier,omitempty"`
 	Weight     *float64 `json:"weight,omitempty"`
 	ShadowCost *float64 `json:"shadow_cost,omitempty"`
 	Occupancy  *int     `json:"occupancy,omitempty"`
@@ -339,7 +405,11 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decode(w, r, &req); err != nil {
 		return err
 	}
-	sw, err := s.buildSwitch(req.SwitchSpec)
+	opt, err := s.parseDispatch(req.DispatchSpec)
+	if err != nil {
+		return err
+	}
+	sw, err := s.buildSwitchFor(req.SwitchSpec, opt)
 	if err != nil {
 		return err
 	}
@@ -355,6 +425,23 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) error {
 			if !finite(wt) {
 				return badRequest("weight %d is not finite", i)
 			}
+		}
+		if _, ok, err := s.tryAsymptotic(sw, opt); err != nil {
+			return err
+		} else if ok {
+			an, err := revenue.NewAsymptotic(sw, req.Weights)
+			if err != nil {
+				return unprocessable("asymptotic tier: %v", err)
+			}
+			shadow, err := an.ShadowCost(req.Class)
+			if err != nil {
+				return unprocessable("asymptotic tier: %v", err)
+			}
+			s.writeJSON(w, http.StatusOK, AdmissionResponse{
+				Accept: req.Weights[req.Class] > shadow, Policy: "profitability", Class: req.Class,
+				Tier: core.TierAsymptotic, Weight: &req.Weights[req.Class], ShadowCost: &shadow,
+			})
+			return nil
 		}
 		e, cached, err := s.withEntry(r, alg1, sw)
 		if err != nil {
@@ -372,10 +459,14 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) error {
 		shadow := an.ShadowCost(req.Class)
 		accept := an.Profitable(req.Class)
 		e.unlock()
-		s.writeJSON(w, http.StatusOK, AdmissionResponse{
+		resp := AdmissionResponse{
 			Accept: accept, Policy: "profitability", Class: req.Class,
 			Weight: &req.Weights[req.Class], ShadowCost: &shadow, Cached: cached,
-		})
+		}
+		if opt != nil {
+			resp.Tier = core.TierExact
+		}
+		s.writeJSON(w, http.StatusOK, resp)
 		return nil
 	case "reservation":
 		if len(req.Limits) != len(sw.Classes) {
@@ -426,18 +517,24 @@ type SweepPoint struct {
 // when present, adds the revenue W at every point.
 type SweepRequest struct {
 	SwitchSpec
+	DispatchSpec
 	Algorithm string       `json:"algorithm,omitempty"`
 	Points    []SweepPoint `json:"points,omitempty"`
 	Weights   []float64    `json:"weights,omitempty"`
 }
 
 // SweepResult is one point of the sweep reply. Blocking and
-// Concurrency are in request class order.
+// Concurrency are in request class order. Tier is present when the
+// request carried a dispatch policy — the decision is per point, so
+// one sweep can mix exact small sizes with asymptotic large ones —
+// and ErrorBound accompanies asymptotic points.
 type SweepResult struct {
 	N1          int       `json:"n1"`
 	N2          int       `json:"n2"`
+	Tier        string    `json:"tier,omitempty"`
 	Blocking    []float64 `json:"blocking"`
 	Concurrency []float64 `json:"concurrency"`
+	ErrorBound  []float64 `json:"error_bound,omitempty"`
 	W           *float64  `json:"w,omitempty"`
 }
 
@@ -459,7 +556,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	sw, err := s.buildSwitch(req.SwitchSpec)
+	opt, err := s.parseDispatch(req.DispatchSpec)
+	if err != nil {
+		return err
+	}
+	sw, err := s.buildSwitchFor(req.SwitchSpec, opt)
 	if err != nil {
 		return err
 	}
@@ -488,7 +589,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 			}
 		}
 	}
-	e, cached, err := s.withEntry(r, alg, sw)
+	// Dispatch is decided per point: points the expansion answers
+	// within tolerance never touch the lattice, and — as in the grid
+	// engine — they do not inflate the fill, which runs at the maximum
+	// dimensions of the exact-routed points only.
+	var asym []*core.Result
+	entrySw := sw
+	if opt != nil {
+		asym = make([]*core.Result, len(points))
+		emax1, emax2 := 0, 0
+		for i, p := range points {
+			sub := core.Switch{N1: p.N1, N2: p.N2, Classes: sw.Classes}
+			res, ok, err := s.tryAsymptotic(sub, opt)
+			if err != nil {
+				return fmt.Errorf("sweep point %dx%d: %w", p.N1, p.N2, err)
+			}
+			if ok {
+				asym[i] = res
+				continue
+			}
+			emax1, emax2 = max(emax1, p.N1), max(emax2, p.N2)
+		}
+		if emax1 == 0 {
+			// Every point went asymptotic: no lattice, no cache entry.
+			resp := SweepResponse{N1: sw.N1, N2: sw.N2, Method: "asymptotic", Results: make([]SweepResult, len(points))}
+			for i, p := range points {
+				resp.Results[i] = sweepRow(p.N1, p.N2, asym[i], req.Weights)
+			}
+			s.writeJSON(w, http.StatusOK, resp)
+			return nil
+		}
+		entrySw = core.Switch{N1: emax1, N2: emax2, Classes: sw.Classes}
+	}
+	e, cached, err := s.withEntry(r, alg, entrySw)
 	if err != nil {
 		return err
 	}
@@ -500,7 +633,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 	resp := SweepResponse{N1: sw.N1, N2: sw.N2, Cached: cached, Results: make([]SweepResult, len(points))}
 	resp.Method = e.result().Method
 	for i, p := range points {
-		resp.Results[i] = sweepRow(p.N1, p.N2, e.resultAt(p.N1, p.N2), req.Weights)
+		if asym != nil && asym[i] != nil {
+			resp.Results[i] = sweepRow(p.N1, p.N2, asym[i], req.Weights)
+			continue
+		}
+		row := sweepRow(p.N1, p.N2, e.resultAt(p.N1, p.N2), req.Weights)
+		if opt != nil {
+			row.Tier = core.TierExact
+		}
+		resp.Results[i] = row
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -508,13 +649,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 
 // sweepRow builds one sweep response row. The measure slices are
 // copied out of the (entry-owned, memoized) Result so the row stays
-// valid after the entry is unlocked and released.
+// valid after the entry is unlocked and released. (Asymptotic results
+// own their slices, but copying unconditionally keeps the escape rule
+// simple.)
 func sweepRow(n1, n2 int, res *core.Result, weights []float64) SweepResult {
 	sr := SweepResult{
 		N1:          n1,
 		N2:          n2,
+		Tier:        res.Tier,
 		Blocking:    copyFloats(res.Blocking),
 		Concurrency: copyFloats(res.Concurrency),
+	}
+	if res.ErrorBound != nil {
+		sr.ErrorBound = copyFloats(res.ErrorBound)
 	}
 	if weights != nil {
 		wv := res.Revenue(weights)

@@ -51,9 +51,25 @@ awk -v got="$GOT" -v want="$GOLDEN" 'BEGIN {
     exit !(d <= 1e-9)
 }'
 
+# The asymptotic dispatch tier: a 4096-port switch no lattice fill
+# could serve, answered from the saddle-point expansion. The answer
+# must carry the tier and a positive error bound, and arrive fast —
+# the tier is O(R), so 100ms wall clock (including curl) is generous.
+START_NS="$(date +%s%N)"
+curl -fsS -X POST -d '{"n1":4096,"n2":4096,"dispatch":"auto","classes":[{"name":"bulk","a":1,"alpha":1.12,"mu":1}]}' \
+    "$BASE/v1/blocking" >"$WORK/asym.json"
+ELAPSED_MS=$(( ($(date +%s%N) - START_NS) / 1000000 ))
+grep -q '"tier":"asymptotic"' "$WORK/asym.json"
+grep -qo '"error_bound":[0-9.eE+-]*' "$WORK/asym.json"
+if [ "$ELAPSED_MS" -ge 100 ]; then
+    echo "smoke: asymptotic /v1/blocking took ${ELAPSED_MS}ms, want < 100ms" >&2
+    exit 1
+fi
+echo "smoke: asymptotic dispatch at 4096 ok (${ELAPSED_MS}ms)"
+
 curl -fsS "$BASE/metrics" >"$WORK/metrics.json"
 grep -q '"misses":1' "$WORK/metrics.json"
-grep -q '"requests":1' "$WORK/metrics.json"
+grep -q '"requests":2' "$WORK/metrics.json"
 echo "smoke: /metrics ok"
 
 kill -TERM "$PID"
