@@ -7,9 +7,11 @@ GO ?= go
 BENCH_N ?= 8
 # Total-coverage floor `make cover` enforces (docs/PERFORMANCE.md
 # records how it was set; CI's coverage job gates on it).
-COVER_MIN ?= 86.4
+COVER_MIN ?= 86.5
+# Per-target budget of `make fuzz-short` (CI's fuzz-short job).
+FUZZTIME ?= 60s
 
-.PHONY: all help build vet lint test test-race test-short cover bench bench-short profile serve smoke sim-validate experiments experiments-quick examples clean
+.PHONY: all help build vet lint test test-race test-short cover bench bench-short profile serve smoke sim-validate conformance fuzz-short experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -30,6 +32,9 @@ help:
 	@echo "  serve        run the xbard HTTP daemon (API :8480, pprof 127.0.0.1:8481)"
 	@echo "  smoke        xbard end-to-end smoke test (scripts/smoke.sh; CI's smoke job)"
 	@echo "  sim-validate farm-vs-analytic 3-sigma sweep (scripts/simvalidate.sh; CI's sim-validate job)"
+	@echo "  conformance  scenario corpus through scenario.Evaluate, bit-identical to the"
+	@echo "               legacy entry points; writes conformance-report.json (CI job)"
+	@echo "  fuzz-short   native fuzzing, FUZZTIME=$(FUZZTIME) per target (CI's fuzz-short job)"
 	@echo "  experiments  regenerate every paper table/figure into results/"
 	@echo "  examples     run the example programs"
 	@echo "  clean        remove generated files"
@@ -103,6 +108,22 @@ smoke:
 sim-validate:
 	./scripts/simvalidate.sh
 
+# Conformance gate: every testdata/scenarios corpus spec through the
+# unified scenario engine, asserted bit-identical to the legacy entry
+# points, with the per-scenario comparison written to
+# conformance-report.json (docs/SCENARIOS.md; CI's scenario-conformance
+# job uploads the report as an artifact).
+conformance:
+	$(GO) test ./internal/scenario -run TestCorpusConformance -conformance-report "$(CURDIR)/conformance-report.json"
+	@echo "wrote conformance-report.json"
+
+# Short native fuzzing pass, one budget per target: the scenario-spec
+# round trip (decode -> validate -> evaluate) and the event-queue heap
+# property. Crashers land under the package's testdata/fuzz directory.
+fuzz-short:
+	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzSpec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/eventq -run '^$$' -fuzz FuzzHeapProperty -fuzztime $(FUZZTIME)
+
 # Regenerates every paper table and figure plus the validation,
 # ablation and extension studies into results/.
 experiments:
@@ -120,4 +141,4 @@ examples:
 	$(GO) run ./examples/sizing
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_short.json cpu.prof xbar.test
+	rm -f cover.out test_output.txt bench_output.txt bench_short.json cpu.prof xbar.test conformance-report.json

@@ -27,6 +27,12 @@
 // Each -class flag is name:a:alphaTilde:betaTilde:mu in the paper's
 // aggregate ("tilde") units: intensity per particular input set over
 // all C(N2,a) output sets.
+//
+// Alternatively, -scenario spec.json evaluates one declarative
+// scenario spec (see docs/SCENARIOS.md) through the unified scenario
+// engine — any of the ten disciplines, analytic and simulation
+// measures alike — and prints its measure table. "-" reads the spec
+// from stdin. The model flags above do not apply in this mode.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"xbar/internal/core"
 	"xbar/internal/report"
 	"xbar/internal/revenue"
+	"xbar/internal/scenario"
 )
 
 func main() {
@@ -57,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "lattice-fill workers: 0 auto, 1 sequential, n parallel (alg1/alg2)")
 	tile := fs.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
 	dispatch := fs.String("dispatch", "", "large-N tier policy: exact, auto or asymptotic (empty = plain -alg evaluator)")
+	scenarioPath := fs.String("scenario", "", `declarative scenario spec to evaluate (JSON file, "-" = stdin); replaces the model flags`)
 	tolerance := fs.Float64("tolerance", 0, "largest per-class relative error bound auto dispatch accepts (0 = default)")
 	prof := cli.NewProfiler(fs)
 	var classes cli.ClassFlag
@@ -76,6 +84,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stopProf, err := prof.Start()
 	if err != nil {
 		return fail(err)
+	}
+
+	if *scenarioPath != "" {
+		if err := runScenario(*scenarioPath, stdout); err != nil {
+			return fail(err)
+		}
+		if err := stopProf(); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	if len(classes) == 0 {
@@ -171,6 +189,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	return 0
+}
+
+// runScenario evaluates one declarative scenario spec and prints its
+// measure table: simulation estimates carry their 95% confidence
+// half-width, analytic measures show "-".
+func runScenario(path string, stdout io.Writer) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	spec, err := scenario.Decode(r)
+	if err != nil {
+		return fmt.Errorf("scenario spec %s: %w", path, err)
+	}
+	res, err := scenario.Evaluate(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "scenario %s\n\n", res.Discipline)
+	var rows [][]string
+	for _, m := range res.Measures {
+		hw := "-"
+		if m.HalfWidth > 0 {
+			hw = report.FormatFloat(m.HalfWidth)
+		}
+		rows = append(rows, []string{m.Name, report.FormatFloat(m.Value), hw})
+	}
+	return report.Table(stdout, []string{"measure", "value", "+-95%"}, rows)
 }
 
 // revenueReport prints the Section 4 revenue table, reading off the

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"xbar/internal/core"
 	"xbar/internal/report"
+	"xbar/internal/scenario"
 )
 
 func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -64,6 +67,54 @@ func TestOccupancyAndRevenue(t *testing.T) {
 	}
 	if !strings.Contains(out, "revenue W(N)") || !strings.Contains(out, "shadow cost") {
 		t.Errorf("missing revenue report:\n%s", out)
+	}
+}
+
+func TestScenarioMode(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	doc := `{"discipline": "slotted", "topology": {"n1": 16, "n2": 16}, "params": {"load": 0.8}}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCapture(t, "-scenario", spec)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "scenario slotted") || !strings.Contains(out, "throughput") {
+		t.Errorf("missing scenario table:\n%s", out)
+	}
+	// The CLI answer is the engine's answer, verbatim.
+	res, err := scenario.Evaluate(&scenario.Spec{
+		Discipline: "slotted",
+		Topology:   scenario.Topology{N1: 16, N2: 16},
+		Params:     scenario.Params{Load: 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := res.Measure("throughput")
+	if !ok {
+		t.Fatal("no throughput measure")
+	}
+	if want := report.FormatFloat(m.Value); !strings.Contains(out, want) {
+		t.Errorf("output missing throughput %s:\n%s", want, out)
+	}
+
+	for name, args := range map[string][]string{
+		"missing file": {"-scenario", filepath.Join(t.TempDir(), "absent.json")},
+		"invalid spec": {"-scenario", spec + "\x00"},
+	} {
+		if code, _, errOut := runCapture(t, args...); code != 1 || errOut == "" {
+			t.Errorf("%s: exit %d (stderr %q), want 1 with diagnostic", name, code, errOut)
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"discipline": "quantum"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runCapture(t, "-scenario", bad); code != 1 || !strings.Contains(errOut, "unknown discipline") {
+		t.Errorf("bad discipline: exit %d, stderr %q", code, errOut)
 	}
 }
 

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	xbard [-addr :8480] [-debug-addr 127.0.0.1:8481] \
-//	      [-workers n] [-tile t] [-cache entries] [-max-dim n] \
-//	      [-max-asym-dim n] \
+//	      [-workers n] [-tile t] [-cache entries] [-scenario-cache entries] \
+//	      [-max-dim n] [-max-asym-dim n] \
 //	      [-max-body bytes] [-timeout d] [-drain d] [-max-concurrent n] \
 //	      [-max-grid-points n] \
 //	      [-cpuprofile f] [-memprofile f] [-trace f]
@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers       = fs.Int("workers", 0, "wavefront fill workers per solve (0 = GOMAXPROCS divided across -max-concurrent)")
 		tile          = fs.Int("tile", 0, "wavefront tile edge in cells (0 = automatic)")
 		cacheSize     = fs.Int("cache", 0, "retained operating points in the solver cache (0 = default 64)")
+		scenarioCache = fs.Int("scenario-cache", 0, "retained /v1/scenario results (0 = default 64)")
 		maxDim        = fs.Int("max-dim", 0, "largest switch dimension the exact tier fills a lattice for (0 = default 1024)")
 		maxAsymDim    = fs.Int("max-asym-dim", 0, "largest switch dimension under a dispatch policy; (max-dim, max-asym-dim] is asymptotic-only (0 = default 1<<20)")
 		maxConcurrent = fs.Int("max-concurrent", 0, "solver slots: concurrent fills and lattice reads (0 = GOMAXPROCS)")
@@ -70,18 +71,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv, err := server.New(server.Config{
-		Addr:           *addr,
-		DebugAddr:      *debugAddr,
-		Workers:        *workers,
-		Tile:           *tile,
-		CacheSize:      *cacheSize,
-		MaxDim:         *maxDim,
-		MaxAsymDim:     *maxAsymDim,
-		MaxConcurrent:  *maxConcurrent,
-		MaxGridPoints:  *maxGridPoints,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
+		Addr:              *addr,
+		DebugAddr:         *debugAddr,
+		Workers:           *workers,
+		Tile:              *tile,
+		CacheSize:         *cacheSize,
+		ScenarioCacheSize: *scenarioCache,
+		MaxDim:            *maxDim,
+		MaxAsymDim:        *maxAsymDim,
+		MaxConcurrent:     *maxConcurrent,
+		MaxGridPoints:     *maxGridPoints,
+		MaxBodyBytes:      *maxBody,
+		RequestTimeout:    *timeout,
+		DrainTimeout:      *drain,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, time.Now().Format("2006-01-02T15:04:05.000Z07:00")+" "+format+"\n", args...)
 		},

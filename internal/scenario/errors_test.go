@@ -1,0 +1,357 @@
+package scenario_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xbar/internal/scenario"
+)
+
+func TestErrorStrings(t *testing.T) {
+	inv := &scenario.InvalidError{Fields: []scenario.FieldError{
+		{Field: "params.load", Msg: "1.5 outside [0,1]"},
+		{Field: "sim.seed", Msg: "set without an active simulation"},
+	}}
+	for _, want := range []string{"invalid scenario spec: ", "params.load: 1.5", "; sim.seed: set"} {
+		if !strings.Contains(inv.Error(), want) {
+			t.Errorf("InvalidError.Error() = %q, want substring %q", inv.Error(), want)
+		}
+	}
+
+	lim := &scenario.LimitError{Field: "topology.n1", Msg: "9000 exceeds the limit 64"}
+	if got := lim.Error(); !strings.Contains(got, "scenario too large: topology.n1: 9000") {
+		t.Errorf("LimitError.Error() = %q", got)
+	}
+
+	sentinel := errors.New("secondary fit diverged")
+	ev := &scenario.EvalError{Discipline: "overflow", Err: sentinel}
+	if got := ev.Error(); !strings.Contains(got, `scenario "overflow"`) || !strings.Contains(got, sentinel.Error()) {
+		t.Errorf("EvalError.Error() = %q", got)
+	}
+	if !errors.Is(ev, sentinel) {
+		t.Error("EvalError does not unwrap to its cause")
+	}
+}
+
+// TestValidateFieldDiagnostics drives Validate through the domain
+// checks (rate signs, magnitude windows, slot floors, class and time
+// lists, policy names, sim extras) and asserts each offending field is
+// reported by its JSON path.
+func TestValidateFieldDiagnostics(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   scenario.Spec
+		fields []string
+	}{
+		{
+			name: "rate nonpositive",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: -1, Mu: 1}},
+			fields: []string{"params.rate"},
+		},
+		{
+			name: "rate above magnitude window",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 1e15, Mu: 1}},
+			fields: []string{"params.rate"},
+		},
+		{
+			name: "rate below magnitude window",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 5e-14, Mu: 1}},
+			fields: []string{"params.rate"},
+		},
+		{
+			name: "cross rate negative",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 1, CrossRate: -0.5, Mu: 1}},
+			fields: []string{"params.cross_rate"},
+		},
+		{
+			name: "cross rate above magnitude window",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 1, CrossRate: 2e12, Mu: 1}},
+			fields: []string{"params.cross_rate"},
+		},
+		{
+			name: "warmup negative",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 1, Mu: 1},
+				Sim:      scenario.Sim{Warmup: -1, Horizon: 50}},
+			fields: []string{"sim.warmup"},
+		},
+		{
+			name: "single batch",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 1, Mu: 1},
+				Sim:      scenario.Sim{Horizon: 50, Batches: 1}},
+			fields: []string{"sim.batches"},
+		},
+		{
+			name: "negative slots",
+			spec: scenario.Spec{Discipline: "slotted",
+				Topology: scenario.Topology{N1: 4, N2: 4},
+				Params:   scenario.Params{Load: 0.5},
+				Sim:      scenario.Sim{Slots: -5}},
+			fields: []string{"sim.slots"},
+		},
+		{
+			name: "slots under the batch floor",
+			spec: scenario.Spec{Discipline: "slotted",
+				Topology: scenario.Topology{N1: 4, N2: 4},
+				Params:   scenario.Params{Load: 0.5},
+				Sim:      scenario.Sim{Slots: 10}},
+			fields: []string{"sim.slots"},
+		},
+		{
+			name: "inputq slots required",
+			spec: scenario.Spec{Discipline: "inputq",
+				Topology: scenario.Topology{N1: 4},
+				Params:   scenario.Params{Load: 0.5}},
+			fields: []string{"sim.slots"},
+		},
+		{
+			name: "inputq bad policy and queue cap",
+			spec: scenario.Spec{Discipline: "inputq",
+				Topology: scenario.Topology{N1: 4},
+				Params:   scenario.Params{Load: 0.5, Policy: "fifo"},
+				Sim:      scenario.Sim{Slots: 100, QueueCap: -1}},
+			fields: []string{"params.policy", "sim.queue_cap"},
+		},
+		{
+			name: "link without classes",
+			spec: scenario.Spec{Discipline: "link",
+				Topology: scenario.Topology{C: 4}},
+			fields: []string{"classes"},
+		},
+		{
+			name: "link class out of domain",
+			spec: scenario.Spec{Discipline: "link",
+				Topology: scenario.Topology{C: 4},
+				Classes:  []scenario.Class{{A: 0, Alpha: -1, Beta: 2e12, Mu: 1}}},
+			fields: []string{"classes[0].a", "classes[0].alpha", "classes[0].beta"},
+		},
+		{
+			name: "link pascal divergence",
+			spec: scenario.Spec{Discipline: "link",
+				Topology: scenario.Topology{C: 4},
+				Classes:  []scenario.Class{{A: 1, Alpha: 1, Beta: 2, Mu: 1}}},
+			fields: []string{"classes[0].beta"},
+		},
+		{
+			name: "transient without times",
+			spec: scenario.Spec{Discipline: "transient",
+				Topology: scenario.Topology{N1: 2, N2: 2},
+				Classes:  []scenario.Class{{A: 1, Alpha: 0.1, Mu: 1}}},
+			fields: []string{"params.times"},
+		},
+		{
+			name: "transient negative time",
+			spec: scenario.Spec{Discipline: "transient",
+				Topology: scenario.Topology{N1: 2, N2: 2},
+				Classes:  []scenario.Class{{A: 1, Alpha: 0.1, Mu: 1}},
+				Params:   scenario.Params{Times: []float64{-1}}},
+			fields: []string{"params.times[0]"},
+		},
+		{
+			name: "clos sim knobs without a simulation",
+			spec: scenario.Spec{Discipline: "clos",
+				Topology: scenario.Topology{M: 2, N: 2, R: 2},
+				Params:   scenario.Params{Load: 0.5, Mu: 1, Policy: "first-fit"},
+				Sim:      scenario.Sim{Seed: 1, Warmup: 2, Batches: 5}},
+			fields: []string{"params.mu", "params.policy", "sim.seed", "sim.warmup", "sim.batches"},
+		},
+		{
+			name: "clos unknown policy",
+			spec: scenario.Spec{Discipline: "clos",
+				Topology: scenario.Topology{M: 2, N: 2, R: 2},
+				Params:   scenario.Params{Load: 0.5, Mu: 1, Policy: "bogus"},
+				Sim:      scenario.Sim{Horizon: 50}},
+			fields: []string{"params.policy"},
+		},
+		{
+			name: "wdm sim knobs without a simulation",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 1, Mu: 1, Policy: "random-fit", Converters: true}},
+			fields: []string{"params.policy", "params.converters"},
+		},
+		{
+			name: "retrial retry rate without retries",
+			spec: scenario.Spec{Discipline: "retrial",
+				Topology: scenario.Topology{N1: 2, N2: 2},
+				Params:   scenario.Params{Lambda: 1, Mu: 1, RetryRate: 1},
+				Sim:      scenario.Sim{Horizon: 50}},
+			fields: []string{"params.retry_rate"},
+		},
+		{
+			name: "retrial negative attempts",
+			spec: scenario.Spec{Discipline: "retrial",
+				Topology: scenario.Topology{N1: 2, N2: 2},
+				Params:   scenario.Params{Lambda: 1, Mu: 1, MaxAttempts: -1},
+				Sim:      scenario.Sim{Horizon: 50}},
+			fields: []string{"params.max_attempts"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate(scenario.Limits{})
+			var inv *scenario.InvalidError
+			if !errors.As(err, &inv) {
+				t.Fatalf("Validate = %v, want *InvalidError", err)
+			}
+			got := make(map[string]string, len(inv.Fields))
+			for _, f := range inv.Fields {
+				got[f.Field] = f.Msg
+			}
+			for _, field := range tc.fields {
+				if msg, ok := got[field]; !ok {
+					t.Errorf("missing diagnostic for %s (got %v)", field, inv.Fields)
+				} else if msg == "" {
+					t.Errorf("empty diagnostic for %s", field)
+				}
+			}
+		})
+	}
+}
+
+// TestValidateLimitDiagnostics exercises every LimitError source:
+// slot caps, cell and event budgets, class and time list caps, and the
+// transient state-space bound.
+func TestValidateLimitDiagnostics(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  scenario.Spec
+		lim   scenario.Limits
+		field string
+	}{
+		{
+			name: "slots over cap",
+			spec: scenario.Spec{Discipline: "slotted",
+				Topology: scenario.Topology{N1: 2, N2: 2},
+				Params:   scenario.Params{Load: 0.5},
+				Sim:      scenario.Sim{Slots: 100}},
+			lim:   scenario.Limits{MaxSlots: 64},
+			field: "sim.slots",
+		},
+		{
+			name: "cell budget over cap",
+			spec: scenario.Spec{Discipline: "slotted",
+				Topology: scenario.Topology{N1: 16, N2: 16},
+				Params:   scenario.Params{Load: 0.5},
+				Sim:      scenario.Sim{Slots: 20}},
+			lim:   scenario.Limits{MaxEvents: 100},
+			field: "sim.slots",
+		},
+		{
+			name: "event budget over cap",
+			spec: scenario.Spec{Discipline: "overflow",
+				Topology: scenario.Topology{N1: 2},
+				Params:   scenario.Params{Lambda: 1e6, Mu: 1, SecondaryN: 2},
+				Sim:      scenario.Sim{Horizon: 1000}},
+			field: "sim.horizon",
+		},
+		{
+			name: "class list over cap",
+			spec: scenario.Spec{Discipline: "link",
+				Topology: scenario.Topology{C: 4},
+				Classes: []scenario.Class{
+					{A: 1, Alpha: 0.1, Mu: 1},
+					{A: 2, Alpha: 0.2, Mu: 1}}},
+			lim:   scenario.Limits{MaxClasses: 1},
+			field: "classes",
+		},
+		{
+			name: "time list over cap",
+			spec: scenario.Spec{Discipline: "transient",
+				Topology: scenario.Topology{N1: 2, N2: 2},
+				Classes:  []scenario.Class{{A: 1, Alpha: 0.1, Mu: 1}},
+				Params:   scenario.Params{Times: []float64{0, 1, 2}}},
+			lim:   scenario.Limits{MaxTimes: 2},
+			field: "params.times",
+		},
+		{
+			name: "state bound over cap",
+			spec: scenario.Spec{Discipline: "transient",
+				Topology: scenario.Topology{N1: 16, N2: 16},
+				Classes:  []scenario.Class{{A: 1, Alpha: 0.1, Mu: 1}},
+				Params:   scenario.Params{Times: []float64{1}}},
+			lim:   scenario.Limits{MaxStates: 8},
+			field: "topology",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate(tc.lim)
+			var le *scenario.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("Validate = %v, want *LimitError", err)
+			}
+			if le.Field != tc.field {
+				t.Errorf("LimitError.Field = %q, want %q", le.Field, tc.field)
+			}
+			if le.Msg == "" {
+				t.Error("LimitError.Msg is empty")
+			}
+		})
+	}
+}
+
+// TestValidatePolicyAliases accepts every documented policy alias.
+func TestValidatePolicyAliases(t *testing.T) {
+	cases := []struct {
+		name string
+		spec scenario.Spec
+	}{
+		{
+			name: "clos first-fit",
+			spec: scenario.Spec{Discipline: "clos",
+				Topology: scenario.Topology{M: 2, N: 2, R: 2},
+				Params:   scenario.Params{Load: 0.5, Mu: 1, Policy: "first-fit"},
+				Sim:      scenario.Sim{Warmup: 5, Horizon: 50}},
+		},
+		{
+			name: "clos random-try",
+			spec: scenario.Spec{Discipline: "clos",
+				Topology: scenario.Topology{M: 2, N: 2, R: 2},
+				Params:   scenario.Params{Load: 0.5, Mu: 1, Policy: "random-try"},
+				Sim:      scenario.Sim{Horizon: 50}},
+		},
+		{
+			name: "wdm random-fit",
+			spec: scenario.Spec{Discipline: "wdm",
+				Topology: scenario.Topology{L: 2, W: 4},
+				Params:   scenario.Params{Rate: 1, Mu: 1, Policy: "random-fit"},
+				Sim:      scenario.Sim{Horizon: 50}},
+		},
+		{
+			name: "inputq output-queued",
+			spec: scenario.Spec{Discipline: "inputq",
+				Topology: scenario.Topology{N1: 4},
+				Params:   scenario.Params{Load: 0.5, Policy: "output-queued"},
+				Sim:      scenario.Sim{Slots: 100, QueueCap: 4}},
+		},
+		{
+			name: "retrial with orbit",
+			spec: scenario.Spec{Discipline: "retrial",
+				Topology: scenario.Topology{N1: 2, N2: 2},
+				Params:   scenario.Params{Lambda: 1, Mu: 1, RetryRate: 1, MaxAttempts: 3},
+				Sim:      scenario.Sim{Horizon: 50}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.spec.Validate(scenario.Limits{}); err != nil {
+				t.Fatalf("Validate = %v, want nil", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,439 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"xbar/internal/floats"
+)
+
+// Limits bounds what Validate will admit for evaluation. The zero
+// value of any field selects the corresponding DefaultLimits entry.
+// Violations are LimitError (HTTP 413), distinct from domain errors
+// (InvalidError, 400): a million-port switch is a well-formed spec the
+// server declines to evaluate, not a malformed one.
+type Limits struct {
+	// MaxDim caps every topology dimension (n1, n2, m, n, r, l, w, c,
+	// secondary_n).
+	MaxDim int
+	// MaxClasses caps the traffic-class list.
+	MaxClasses int
+	// MaxSlots caps slotted simulation horizons; the cell budget
+	// dimension*slots is additionally capped by MaxEvents.
+	MaxSlots int
+	// MaxEvents caps the expected event (or slot-cell) budget of one
+	// simulation, the knob that keeps a fuzzer or an abusive client
+	// from buying unbounded CPU with a tiny request.
+	MaxEvents float64
+	// MaxStates caps the transient discipline's CTMC state-space bound.
+	// Uniformization holds a dense |S| x |S| transition matrix, so the
+	// cap is memory, not time: 2048 states is a 32 MB matrix.
+	MaxStates int
+	// MaxTimes caps the transient time list.
+	MaxTimes int
+}
+
+// DefaultLimits are the package defaults, sized so the costliest
+// admissible spec evaluates in well under a second.
+var DefaultLimits = Limits{
+	MaxDim:     4096,
+	MaxClasses: 64,
+	MaxSlots:   1 << 20,
+	MaxEvents:  5e6,
+	MaxStates:  2048,
+	MaxTimes:   64,
+}
+
+// maxMagnitude and minPositive bound every rate-like parameter. The
+// window is far wider than any physical operating point; outside it
+// the downstream numerics (rho = alpha/mu, alpha + beta*k) can
+// overflow float64, and the scale package treats non-finite
+// intermediates as programmer error.
+const (
+	maxMagnitude = 1e12
+	minPositive  = 1e-12
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxDim == 0 {
+		l.MaxDim = DefaultLimits.MaxDim
+	}
+	if l.MaxClasses == 0 {
+		l.MaxClasses = DefaultLimits.MaxClasses
+	}
+	if l.MaxSlots == 0 {
+		l.MaxSlots = DefaultLimits.MaxSlots
+	}
+	if l.MaxEvents == 0 { //lint:allow floatcmp zero value of Limits.MaxEvents selects the default (Go zero-value idiom)
+		l.MaxEvents = DefaultLimits.MaxEvents
+	}
+	if l.MaxStates == 0 {
+		l.MaxStates = DefaultLimits.MaxStates
+	}
+	if l.MaxTimes == 0 {
+		l.MaxTimes = DefaultLimits.MaxTimes
+	}
+	return l
+}
+
+// fieldErrs accumulates indexed validation failures.
+type fieldErrs struct {
+	fields []FieldError
+}
+
+func (fe *fieldErrs) addf(field, format string, args ...any) {
+	fe.fields = append(fe.fields, FieldError{Field: field, Msg: fmt.Sprintf(format, args...)})
+}
+
+// err folds the accumulated failures into an InvalidError (nil when
+// none).
+func (fe *fieldErrs) err() error {
+	if len(fe.fields) == 0 {
+		return nil
+	}
+	return &InvalidError{Fields: fe.fields}
+}
+
+// validator is one discipline's structural validation. It reports
+// domain failures into fe and returns a LimitError for size failures
+// (checked only once the spec is structurally sound, so a negative
+// dimension is a 400, not a 413).
+type validator func(s *Spec, lim Limits, fe *fieldErrs) *LimitError
+
+// Validate checks the spec strictly against the discipline's schema:
+// unknown disciplines are UnknownDisciplineError, domain violations
+// (including any field set that the discipline does not read)
+// accumulate into an InvalidError with one entry per offending field,
+// and admissible-but-oversized specs are LimitError.
+func (s *Spec) Validate(lim Limits) error {
+	d, ok := disciplines[s.Discipline]
+	if !ok {
+		return &UnknownDisciplineError{Discipline: s.Discipline}
+	}
+	lim = lim.withDefaults()
+	var fe fieldErrs
+	s.validateCommon(&fe)
+	limErr := d.validate(s, lim, &fe)
+	if err := fe.err(); err != nil {
+		return err
+	}
+	if limErr != nil {
+		return limErr
+	}
+	return nil
+}
+
+// validateCommon rejects non-finite floats and malformed measure
+// filters — checks every discipline shares.
+func (s *Spec) validateCommon(fe *fieldErrs) {
+	p := s.Params
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"params.load", p.Load}, {"params.lambda", p.Lambda}, {"params.mu", p.Mu},
+		{"params.rate", p.Rate}, {"params.cross_rate", p.CrossRate},
+		{"params.hot_fraction", p.HotFraction}, {"params.retry_rate", p.RetryRate},
+		{"sim.warmup", s.Sim.Warmup}, {"sim.horizon", s.Sim.Horizon},
+	} {
+		if !finite(f.v) {
+			fe.addf(f.name, "must be finite, got %v", f.v)
+		}
+	}
+	for i, t := range p.Times {
+		if !finite(t) {
+			fe.addf(fmt.Sprintf("params.times[%d]", i), "must be finite, got %v", t)
+		}
+	}
+	for i, c := range s.Classes {
+		if !finite(c.Alpha) || !finite(c.Beta) || !finite(c.Mu) {
+			fe.addf(fmt.Sprintf("classes[%d]", i), "alpha, beta and mu must be finite")
+		}
+	}
+	seen := make(map[string]bool, len(s.Measures))
+	for i, m := range s.Measures {
+		switch {
+		case m == "":
+			fe.addf(fmt.Sprintf("measures[%d]", i), "empty measure name")
+		case seen[m]:
+			fe.addf(fmt.Sprintf("measures[%d]", i), "duplicate measure %q", m)
+		}
+		seen[m] = true
+	}
+}
+
+// topologyFields and the companion tables drive the strictness sweep:
+// every field a discipline does not list as used must be zero, so that
+// the canonical Key is exact and a typo'd field cannot silently
+// change nothing.
+var topologyFields = [...]struct {
+	name string
+	get  func(*Topology) int
+}{
+	{"n1", func(t *Topology) int { return t.N1 }},
+	{"n2", func(t *Topology) int { return t.N2 }},
+	{"m", func(t *Topology) int { return t.M }},
+	{"n", func(t *Topology) int { return t.N }},
+	{"r", func(t *Topology) int { return t.R }},
+	{"l", func(t *Topology) int { return t.L }},
+	{"w", func(t *Topology) int { return t.W }},
+	{"c", func(t *Topology) int { return t.C }},
+}
+
+var paramFloatFields = [...]struct {
+	name string
+	get  func(*Params) float64
+}{
+	{"load", func(p *Params) float64 { return p.Load }},
+	{"lambda", func(p *Params) float64 { return p.Lambda }},
+	{"mu", func(p *Params) float64 { return p.Mu }},
+	{"rate", func(p *Params) float64 { return p.Rate }},
+	{"cross_rate", func(p *Params) float64 { return p.CrossRate }},
+	{"hot_fraction", func(p *Params) float64 { return p.HotFraction }},
+	{"retry_rate", func(p *Params) float64 { return p.RetryRate }},
+}
+
+var paramIntFields = [...]struct {
+	name string
+	get  func(*Params) int
+}{
+	{"max_attempts", func(p *Params) int { return p.MaxAttempts }},
+	{"secondary_n", func(p *Params) int { return p.SecondaryN }},
+	{"class", func(p *Params) int { return p.Class }},
+}
+
+var simFields = [...]struct {
+	name string
+	zero func(*Sim) bool
+}{
+	{"seed", func(s *Sim) bool { return s.Seed == 0 }},
+	{"warmup", func(s *Sim) bool { return floats.Zero(s.Warmup) }},
+	{"horizon", func(s *Sim) bool { return floats.Zero(s.Horizon) }},
+	{"batches", func(s *Sim) bool { return s.Batches == 0 }},
+	{"slots", func(s *Sim) bool { return s.Slots == 0 }},
+	{"queue_cap", func(s *Sim) bool { return s.QueueCap == 0 }},
+}
+
+// usage declares which fields one discipline reads. Field names match
+// the JSON schema.
+type usage struct {
+	topology []string
+	params   []string
+	sim      []string
+	classes  bool
+	times    bool
+	policy   bool
+	conv     bool
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// rejectUnused reports every set field outside the discipline's usage
+// declaration.
+func rejectUnused(s *Spec, u usage, fe *fieldErrs) {
+	for _, f := range topologyFields {
+		if !contains(u.topology, f.name) && f.get(&s.Topology) != 0 {
+			fe.addf("topology."+f.name, "not read by discipline %q", s.Discipline)
+		}
+	}
+	for _, f := range paramFloatFields {
+		if !contains(u.params, f.name) && !floats.Zero(f.get(&s.Params)) {
+			fe.addf("params."+f.name, "not read by discipline %q", s.Discipline)
+		}
+	}
+	for _, f := range paramIntFields {
+		if !contains(u.params, f.name) && f.get(&s.Params) != 0 {
+			fe.addf("params."+f.name, "not read by discipline %q", s.Discipline)
+		}
+	}
+	for _, f := range simFields {
+		if !contains(u.sim, f.name) && !f.zero(&s.Sim) {
+			fe.addf("sim."+f.name, "not read by discipline %q", s.Discipline)
+		}
+	}
+	if !u.classes && len(s.Classes) > 0 {
+		fe.addf("classes", "not read by discipline %q", s.Discipline)
+	}
+	if !u.times && len(s.Params.Times) > 0 {
+		fe.addf("params.times", "not read by discipline %q", s.Discipline)
+	}
+	if !u.policy && s.Params.Policy != "" {
+		fe.addf("params.policy", "not read by discipline %q", s.Discipline)
+	}
+	if !u.conv && s.Params.Converters {
+		fe.addf("params.converters", "not read by discipline %q", s.Discipline)
+	}
+}
+
+// checkDim validates one required topology dimension and returns the
+// limit violation, if any.
+func checkDim(field string, v, min, max int, fe *fieldErrs) *LimitError {
+	if v < min {
+		fe.addf(field, "%d, must be >= %d", v, min)
+		return nil
+	}
+	if v > max {
+		return &LimitError{Field: field, Msg: fmt.Sprintf("%d exceeds the limit %d", v, max)}
+	}
+	return nil
+}
+
+// firstLim keeps the first limit violation of a sequence.
+func firstLim(errs ...*LimitError) *LimitError {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// checkUnitLoad validates a [0, 1] load parameter.
+func checkUnitLoad(field string, v float64, fe *fieldErrs) {
+	if v < 0 || v > 1 {
+		fe.addf(field, "%v outside [0,1]", v)
+	}
+}
+
+// checkPositive validates a strictly positive rate parameter within
+// the supported magnitude window.
+func checkPositive(field string, v float64, fe *fieldErrs) {
+	if v <= 0 {
+		fe.addf(field, "%v, must be > 0", v)
+		return
+	}
+	if v < minPositive || v > maxMagnitude {
+		fe.addf(field, "%v outside the supported magnitude window [%.0e, %.0e]", v, minPositive, maxMagnitude)
+	}
+}
+
+// checkNonNegative validates a rate that may be zero (cross traffic,
+// warmup) but must stay within the magnitude window.
+func checkNonNegative(field string, v float64, fe *fieldErrs) {
+	if v < 0 {
+		fe.addf(field, "%v, must be >= 0", v)
+		return
+	}
+	if v > maxMagnitude {
+		fe.addf(field, "%v outside the supported magnitude window [0, %.0e]", v, maxMagnitude)
+	}
+}
+
+// checkEventSim validates the event-driven simulation block shared by
+// clos, wdm, overflow, retrial and hotspot (warmup, horizon, batches)
+// and the expected event budget rate*(warmup+horizon) against
+// lim.MaxEvents. required marks disciplines that are pure simulations.
+func checkEventSim(s *Spec, lim Limits, rate float64, required bool, fe *fieldErrs) *LimitError {
+	sim := s.Sim
+	checkNonNegative("sim.warmup", sim.Warmup, fe)
+	if sim.Horizon < 0 || sim.Horizon > maxMagnitude {
+		fe.addf("sim.horizon", "%v outside [0, %.0e]", sim.Horizon, maxMagnitude)
+	}
+	if required && sim.Horizon <= 0 {
+		fe.addf("sim.horizon", "discipline %q is a simulation; horizon must be > 0", s.Discipline)
+	}
+	if sim.Horizon > 0 && (sim.Batches == 1 || sim.Batches < 0) {
+		fe.addf("sim.batches", "%d, need 0 (default 20) or >= 2", sim.Batches)
+	}
+	if sim.Horizon <= 0 {
+		return nil
+	}
+	// Expected events: each arrival schedules at most a few follow-up
+	// events, so 4x the arrival count is a generous budget envelope.
+	if budget := 4 * rate * (sim.Warmup + sim.Horizon); budget > lim.MaxEvents {
+		return &LimitError{Field: "sim.horizon", Msg: fmt.Sprintf(
+			"expected event budget %.3g exceeds the limit %.3g", budget, lim.MaxEvents)}
+	}
+	return nil
+}
+
+// checkSlotSim validates a slotted simulation block: slots (>= 20 when
+// present, the batch floor of the slotted simulators) and the
+// dimension*slots cell budget.
+func checkSlotSim(lim Limits, dim, slots int, required bool, fe *fieldErrs) *LimitError {
+	if slots < 0 {
+		fe.addf("sim.slots", "%d, must be >= 0", slots)
+		return nil
+	}
+	if required && slots == 0 {
+		fe.addf("sim.slots", "this discipline is a simulation; slots must be >= 20")
+		return nil
+	}
+	if slots > 0 && slots < 20 {
+		fe.addf("sim.slots", "%d, need at least 20 (one per batch)", slots)
+		return nil
+	}
+	if slots > lim.MaxSlots {
+		return &LimitError{Field: "sim.slots", Msg: fmt.Sprintf("%d exceeds the limit %d", slots, lim.MaxSlots)}
+	}
+	if budget := float64(dim) * float64(slots); budget > lim.MaxEvents {
+		return &LimitError{Field: "sim.slots", Msg: fmt.Sprintf(
+			"cell budget %.3g exceeds the limit %.3g", budget, lim.MaxEvents)}
+	}
+	return nil
+}
+
+// checkClasses validates the BPP class list against the constraints
+// every class-bearing discipline shares (a >= 1, alpha > 0, mu > 0,
+// Pascal convergence beta/mu < 1).
+func checkClasses(s *Spec, lim Limits, fe *fieldErrs) *LimitError {
+	if len(s.Classes) == 0 {
+		fe.addf("classes", "discipline %q needs at least one traffic class", s.Discipline)
+		return nil
+	}
+	if len(s.Classes) > lim.MaxClasses {
+		return &LimitError{Field: "classes", Msg: fmt.Sprintf("%d classes exceed the limit %d", len(s.Classes), lim.MaxClasses)}
+	}
+	for i, c := range s.Classes {
+		if c.A < 1 {
+			fe.addf(fmt.Sprintf("classes[%d].a", i), "%d, must be >= 1", c.A)
+		}
+		checkPositive(fmt.Sprintf("classes[%d].alpha", i), c.Alpha, fe)
+		checkPositive(fmt.Sprintf("classes[%d].mu", i), c.Mu, fe)
+		if math.Abs(c.Beta) > maxMagnitude {
+			fe.addf(fmt.Sprintf("classes[%d].beta", i), "%v outside the supported magnitude window", c.Beta)
+		}
+		if c.Mu > 0 && c.Beta/c.Mu >= 1 {
+			fe.addf(fmt.Sprintf("classes[%d].beta", i), "beta/mu = %v >= 1 (Pascal divergence)", c.Beta/c.Mu)
+		}
+	}
+	return nil
+}
+
+// checkTimes validates the transient time list.
+func checkTimes(s *Spec, lim Limits, fe *fieldErrs) *LimitError {
+	if len(s.Params.Times) == 0 {
+		fe.addf("params.times", "discipline %q needs at least one evaluation time", s.Discipline)
+		return nil
+	}
+	for i, t := range s.Params.Times {
+		checkNonNegative(fmt.Sprintf("params.times[%d]", i), t, fe)
+	}
+	if len(s.Params.Times) > lim.MaxTimes {
+		return &LimitError{Field: "params.times", Msg: fmt.Sprintf("%d times exceed the limit %d", len(s.Params.Times), lim.MaxTimes)}
+	}
+	return nil
+}
+
+// stateBound is the rectangle bound on the transient CTMC state count:
+// prod_r (minN/a_r + 1), capped to avoid overflow.
+func stateBound(minN int, classes []Class) float64 {
+	bound := 1.0
+	for _, c := range classes {
+		if c.A < 1 {
+			continue
+		}
+		bound *= float64(minN/c.A + 1)
+		if math.IsInf(bound, 1) {
+			return bound
+		}
+	}
+	return bound
+}

@@ -53,6 +53,10 @@ type Config struct {
 	// CacheSize is the solver-cache capacity in entries (one retained
 	// lattice each, O(N1*N2) memory per entry). Default 64.
 	CacheSize int
+	// ScenarioCacheSize is the /v1/scenario result-cache capacity in
+	// entries (one evaluated measure set each — small and immutable,
+	// unlike the solver cache's lattices). Default 64.
+	ScenarioCacheSize int
 	// MaxDim caps switch dimensions the exact tier will fill a lattice
 	// for. Default 1024.
 	MaxDim int
@@ -103,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 64
 	}
+	if c.ScenarioCacheSize == 0 {
+		c.ScenarioCacheSize = 64
+	}
 	if c.MaxDim == 0 {
 		c.MaxDim = 1024
 	}
@@ -138,6 +145,9 @@ func (c Config) validate() error {
 	}
 	if c.CacheSize < 1 {
 		return fmt.Errorf("server: CacheSize %d, must be >= 1", c.CacheSize)
+	}
+	if c.ScenarioCacheSize < 1 {
+		return fmt.Errorf("server: ScenarioCacheSize %d, must be >= 1", c.ScenarioCacheSize)
 	}
 	if c.MaxDim < 1 || c.MaxClasses < 1 || c.MaxSweepPoints < 1 || c.MaxGridPoints < 1 {
 		return fmt.Errorf("server: limits must be >= 1 (MaxDim %d, MaxClasses %d, MaxSweepPoints %d, MaxGridPoints %d)",

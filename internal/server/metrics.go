@@ -35,6 +35,11 @@ type Metrics struct {
 	solversRecycled atomic.Int64
 	writeFailures   atomic.Int64
 
+	scenarioHits      atomic.Int64
+	scenarioMisses    atomic.Int64
+	scenarioShared    atomic.Int64
+	scenarioEvictions atomic.Int64
+
 	endpoints map[string]*endpointMetrics
 }
 
@@ -99,11 +104,21 @@ type CacheSnapshot struct {
 	SolversRecycled int64 `json:"solvers_recycled"`
 }
 
+// ScenarioCacheSnapshot is the /v1/scenario result cache's counters at
+// snapshot time.
+type ScenarioCacheSnapshot struct {
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	SharedInFlight int64 `json:"shared_in_flight"`
+	Evictions      int64 `json:"evictions"`
+}
+
 // Snapshot is the GET /metrics document.
 type Snapshot struct {
 	InFlight      int64                       `json:"in_flight"`
 	WriteFailures int64                       `json:"write_failures"`
 	Cache         CacheSnapshot               `json:"cache"`
+	ScenarioCache ScenarioCacheSnapshot       `json:"scenario_cache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 }
 
@@ -120,6 +135,12 @@ func (m *Metrics) Snapshot() Snapshot {
 			SharedInFlight:  m.cacheShared.Load(),
 			Evictions:       m.cacheEvictions.Load(),
 			SolversRecycled: m.solversRecycled.Load(),
+		},
+		ScenarioCache: ScenarioCacheSnapshot{
+			Hits:           m.scenarioHits.Load(),
+			Misses:         m.scenarioMisses.Load(),
+			SharedInFlight: m.scenarioShared.Load(),
+			Evictions:      m.scenarioEvictions.Load(),
 		},
 		Endpoints: make(map[string]EndpointSnapshot, len(m.endpoints)),
 	}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xbar/internal/scenario"
+)
+
+// scenarioDoc builds the canonical valid test spec: the slotted
+// crossbar at 8x8, load 0.5, analytic only.
+func scenarioDoc() map[string]any {
+	return map[string]any{
+		"discipline": "slotted",
+		"topology":   map[string]any{"n1": 8, "n2": 8},
+		"params":     map[string]any{"load": 0.5},
+	}
+}
+
+type scenarioErrBody struct {
+	Error  string `json:"error"`
+	Fields []struct {
+		Field string `json:"field"`
+		Msg   string `json:"error"`
+	} `json:"fields"`
+}
+
+func TestScenarioEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var resp ScenarioResponse
+	if code := postJSON(t, ts, "/v1/scenario", scenarioDoc(), &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Discipline != "slotted" || resp.Cached {
+		t.Errorf("first response %+v, want uncached slotted", resp)
+	}
+	names := map[string]bool{}
+	for _, m := range resp.Measures {
+		names[m.Name] = true
+	}
+	if !names["throughput"] || !names["acceptance"] {
+		t.Errorf("measures %+v, want throughput and acceptance", resp.Measures)
+	}
+
+	// The repeat is a cache hit and bit-identical.
+	var again ScenarioResponse
+	if code := postJSON(t, ts, "/v1/scenario", scenarioDoc(), &again); code != http.StatusOK {
+		t.Fatalf("repeat status %d", code)
+	}
+	if !again.Cached {
+		t.Errorf("repeat not served from cache")
+	}
+	for i := range resp.Measures {
+		if again.Measures[i] != resp.Measures[i] {
+			t.Errorf("measure %d drifted: %+v vs %+v", i, resp.Measures[i], again.Measures[i])
+		}
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap.ScenarioCache.Misses != 1 || snap.ScenarioCache.Hits != 1 {
+		t.Errorf("scenario cache counters %+v, want 1 miss + 1 hit", snap.ScenarioCache)
+	}
+	if s.scCache.len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", s.scCache.len())
+	}
+	if ep, ok := snap.Endpoints["/v1/scenario"]; !ok || ep.Requests != 2 {
+		t.Errorf("endpoint metrics %+v, want 2 requests", ep)
+	}
+}
+
+// TestScenarioMeasureFilter pins that the filter selects and orders
+// measures, shares the cache entry with the unfiltered request, and
+// reports unknown names as indexed 400 field errors.
+func TestScenarioMeasureFilter(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	doc := scenarioDoc()
+	doc["measures"] = []string{"acceptance", "throughput"}
+	var resp ScenarioResponse
+	if code := postJSON(t, ts, "/v1/scenario", doc, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Measures) != 2 || resp.Measures[0].Name != "acceptance" || resp.Measures[1].Name != "throughput" {
+		t.Errorf("filtered measures %+v", resp.Measures)
+	}
+
+	// A different filter of the same scenario is a cache hit: the key
+	// excludes the measure selection.
+	doc["measures"] = []string{"throughput"}
+	var narrow ScenarioResponse
+	if code := postJSON(t, ts, "/v1/scenario", doc, &narrow); code != http.StatusOK {
+		t.Fatalf("narrow filter status %d", code)
+	}
+	if !narrow.Cached || len(narrow.Measures) != 1 {
+		t.Errorf("narrow filter response %+v, want cached single measure", narrow)
+	}
+
+	doc["measures"] = []string{"throughput", "nope"}
+	var eb scenarioErrBody
+	if code := postJSON(t, ts, "/v1/scenario", doc, &eb); code != http.StatusBadRequest {
+		t.Fatalf("unknown measure status %d", code)
+	}
+	if len(eb.Fields) != 1 || eb.Fields[0].Field != "measures[1]" {
+		t.Errorf("unknown measure located at %+v, want measures[1]", eb.Fields)
+	}
+}
+
+// TestScenarioErrorContract pins the documented status mapping:
+// malformed specs are 400 with indexed field errors, oversized ones
+// 413, unknown disciplines 422.
+func TestScenarioErrorContract(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 512, MaxDim: 64})
+
+	t.Run("unknown discipline 422", func(t *testing.T) {
+		doc := scenarioDoc()
+		doc["discipline"] = "quantum"
+		var eb scenarioErrBody
+		if code := postJSON(t, ts, "/v1/scenario", doc, &eb); code != http.StatusUnprocessableEntity {
+			t.Fatalf("status %d", code)
+		}
+		if !strings.Contains(eb.Error, "slotted") {
+			t.Errorf("error %q should list the known disciplines", eb.Error)
+		}
+	})
+
+	t.Run("oversized topology 413", func(t *testing.T) {
+		doc := scenarioDoc()
+		doc["topology"] = map[string]any{"n1": 128, "n2": 128}
+		var eb scenarioErrBody
+		if code := postJSON(t, ts, "/v1/scenario", doc, &eb); code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d", code)
+		}
+	})
+
+	t.Run("malformed spec 400 with fields", func(t *testing.T) {
+		doc := scenarioDoc()
+		doc["topology"] = map[string]any{"n1": 8}
+		doc["params"] = map[string]any{"load": 1.5, "lambda": 2}
+		var eb scenarioErrBody
+		if code := postJSON(t, ts, "/v1/scenario", doc, &eb); code != http.StatusBadRequest {
+			t.Fatalf("status %d", code)
+		}
+		want := map[string]bool{"topology.n2": false, "params.load": false, "params.lambda": false}
+		for _, f := range eb.Fields {
+			if _, ok := want[f.Field]; ok {
+				want[f.Field] = true
+			}
+			if f.Msg == "" {
+				t.Errorf("field %q has an empty diagnostic", f.Field)
+			}
+		}
+		for field, seen := range want {
+			if !seen {
+				t.Errorf("missing field error for %q in %+v", field, eb.Fields)
+			}
+		}
+	})
+
+	t.Run("invalid JSON 400", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", strings.NewReader(`{"discipline":`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("trailing data 400", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", strings.NewReader(`{"discipline": "slotted"} extra`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("oversized body 413", func(t *testing.T) {
+		body := `{"discipline": "slotted", "topology": {"n1": 8, "n2": 8}, "params": {"load": 0.5}` +
+			strings.Repeat(" ", 600) + `}`
+		resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+}
+
+// TestScenarioSimulation runs one event-driven discipline end to end
+// through the endpoint: the overflow model requires a simulation block
+// and returns CI-carrying measures.
+func TestScenarioSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("event simulation in -short")
+	}
+	_, ts := newTestServer(t, Config{})
+	doc := map[string]any{
+		"discipline": "overflow",
+		"topology":   map[string]any{"n1": 6},
+		"params":     map[string]any{"lambda": 20, "mu": 1, "secondary_n": 4},
+		"sim":        map[string]any{"seed": 7, "warmup": 20, "horizon": 200},
+	}
+	var resp ScenarioResponse
+	if code := postJSON(t, ts, "/v1/scenario", doc, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	found := false
+	for _, m := range resp.Measures {
+		if m.Name == "sim_primary_blocking" {
+			found = true
+			if m.HalfWidth <= 0 {
+				t.Errorf("sim_primary_blocking carries no confidence half-width: %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no sim_primary_blocking in %+v", resp.Measures)
+	}
+}
+
+func TestScenarioConfigValidate(t *testing.T) {
+	if _, err := New(Config{ScenarioCacheSize: -1}); err == nil {
+		t.Error("negative ScenarioCacheSize accepted")
+	}
+}
+
+// TestScenarioCacheUnit drives scenarioCache directly through the
+// branches the endpoint tests cannot reach deterministically: LRU
+// eviction, single-flight sharing (success and error), the
+// error-not-cached rule, and a waiter abandoning a flight.
+func TestScenarioCacheUnit(t *testing.T) {
+	t.Parallel()
+	mkRes := func(name string) *scenario.Result {
+		return &scenario.Result{Discipline: name}
+	}
+
+	t.Run("eviction", func(t *testing.T) {
+		m := newMetrics()
+		c := newScenarioCache(2, m)
+		ctx := context.Background()
+		for _, k := range []string{"a", "b", "c"} {
+			if _, cached, err := c.get(ctx, k, func() (*scenario.Result, error) { return mkRes(k), nil }); err != nil || cached {
+				t.Fatalf("get(%q) = cached %v, err %v", k, cached, err)
+			}
+		}
+		if n := c.len(); n != 2 {
+			t.Errorf("len = %d after eviction, want 2", n)
+		}
+		if got := m.scenarioEvictions.Load(); got != 1 {
+			t.Errorf("evictions = %d, want 1", got)
+		}
+		// "a" was the LRU victim; "b" and "c" must still hit.
+		if _, cached, _ := c.get(ctx, "b", nil); !cached {
+			t.Error(`"b" evicted, want retained`)
+		}
+		if _, cached, err := c.get(ctx, "a", func() (*scenario.Result, error) { return mkRes("a"), nil }); cached || err != nil {
+			t.Errorf(`"a" retained past eviction: cached %v, err %v`, cached, err)
+		}
+	})
+
+	t.Run("single flight", func(t *testing.T) {
+		m := newMetrics()
+		c := newScenarioCache(4, m)
+		ctx := context.Background()
+		entered := make(chan struct{})
+		release := make(chan struct{})
+		res := mkRes("shared")
+		go func() {
+			c.get(ctx, "k", func() (*scenario.Result, error) {
+				close(entered)
+				<-release
+				return res, nil
+			})
+		}()
+		<-entered
+		type out struct {
+			res    *scenario.Result
+			cached bool
+			err    error
+		}
+		got := make(chan out, 1)
+		go func() {
+			r, cached, err := c.get(ctx, "k", func() (*scenario.Result, error) {
+				t.Error("second fill ran; want shared flight")
+				return nil, nil
+			})
+			got <- out{r, cached, err}
+		}()
+		// The waiter must be attached to the flight before we release it.
+		for m.scenarioShared.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+		o := <-got
+		if o.err != nil || !o.cached || o.res != res {
+			t.Errorf("shared waiter got (%v, cached %v, err %v), want the flight's result", o.res, o.cached, o.err)
+		}
+		if hits, misses := m.scenarioHits.Load(), m.scenarioMisses.Load(); misses != 1 || hits != 0 {
+			t.Errorf("hits %d misses %d, want 0 and 1", hits, misses)
+		}
+	})
+
+	t.Run("errors shared but not cached", func(t *testing.T) {
+		m := newMetrics()
+		c := newScenarioCache(4, m)
+		ctx := context.Background()
+		boom := errors.New("unevaluable")
+		if _, _, err := c.get(ctx, "k", func() (*scenario.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+		if n := c.len(); n != 0 {
+			t.Fatalf("error cached: len = %d", n)
+		}
+		// The next identical request evaluates afresh.
+		if _, cached, err := c.get(ctx, "k", func() (*scenario.Result, error) { return mkRes("k"), nil }); cached || err != nil {
+			t.Errorf("retry after error: cached %v, err %v", cached, err)
+		}
+		if got := m.scenarioMisses.Load(); got != 2 {
+			t.Errorf("misses = %d, want 2", got)
+		}
+	})
+
+	t.Run("waiter context canceled", func(t *testing.T) {
+		m := newMetrics()
+		c := newScenarioCache(4, m)
+		entered := make(chan struct{})
+		release := make(chan struct{})
+		go func() {
+			c.get(context.Background(), "k", func() (*scenario.Result, error) {
+				close(entered)
+				<-release
+				return mkRes("k"), nil
+			})
+		}()
+		<-entered
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, cached, err := c.get(ctx, "k", nil)
+		if !errors.Is(err, context.Canceled) || cached {
+			t.Errorf("canceled waiter got cached %v, err %v, want context.Canceled", cached, err)
+		}
+		close(release)
+	})
+}

@@ -9,6 +9,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"xbar/internal/grid"
+	"xbar/internal/scenario"
 )
 
 // Server is the xbard HTTP daemon: the API mux, the solver cache, the
@@ -17,11 +20,13 @@ import (
 // daemon path: listens, serves, drains on cancel) or serve
 // s.Handler() from a test harness.
 type Server struct {
-	cfg     Config
-	metrics *Metrics
-	cache   *solverCache
-	sem     chan struct{}
-	now     func() time.Time
+	cfg      Config
+	metrics  *Metrics
+	cache    *solverCache
+	scenario *scenario.Engine
+	scCache  *scenarioCache
+	sem      chan struct{}
+	now      func() time.Time
 
 	mux      *http.ServeMux
 	debugMux *http.ServeMux
@@ -35,7 +40,7 @@ type Server struct {
 // endpointNames are the instrumented endpoints, as they appear in the
 // metrics document.
 var endpointNames = []string{
-	"/v1/blocking", "/v1/revenue", "/v1/admission", "/v1/sweep", "/v1/grid", "/healthz", "/metrics",
+	"/v1/blocking", "/v1/revenue", "/v1/admission", "/v1/sweep", "/v1/grid", "/v1/scenario", "/healthz", "/metrics",
 }
 
 // New builds a Server from cfg (zero fields take their documented
@@ -50,6 +55,15 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		metrics: m,
 		cache:   newSolverCache(cfg.CacheSize, cfg.fillOptions(), m),
+		// The scenario engine runs memo-less: the server-side result
+		// cache (LRU + single-flight) is the memo, and caching twice
+		// would pin every evicted result forever.
+		scenario: scenario.New(scenario.Options{
+			NoMemo: true,
+			Limits: cfg.scenarioLimits(),
+			Grid:   grid.Options{Workers: cfg.Workers, Tile: cfg.Tile},
+		}),
+		scCache: newScenarioCache(cfg.ScenarioCacheSize, m),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		now:     time.Now, //lint:allow detrand wall-clock latency metrics; the analytical engine itself stays clock-free
 	}
@@ -59,6 +73,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("POST /v1/admission", s.instrument("/v1/admission", s.handleAdmission))
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/grid", s.instrument("/v1/grid", s.handleGrid))
+	s.mux.Handle("POST /v1/scenario", s.instrument("/v1/scenario", s.handleScenario))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the xbard daemon (`make smoke`, CI's smoke
 # job): build it, start it, hit /healthz, check /v1/blocking against
-# the committed results/figure1.csv value to 1e-9, scrape /metrics,
+# the committed results/figure1.csv value to 1e-9, run two scenario
+# specs through /v1/scenario (plus its 422 contract), scrape /metrics,
 # then SIGTERM and require a clean drain with exit code 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -67,9 +68,32 @@ if [ "$ELAPSED_MS" -ge 100 ]; then
 fi
 echo "smoke: asymptotic dispatch at 4096 ok (${ELAPSED_MS}ms)"
 
+# The unified scenario endpoint: one analytic slotted spec and one
+# analytic WDM spec through POST /v1/scenario (docs/SCENARIOS.md). The
+# slotted repeat must come back from the result cache.
+curl -fsS -X POST -d '{"discipline":"slotted","topology":{"n1":16,"n2":16},"params":{"load":0.8}}' \
+    "$BASE/v1/scenario" >"$WORK/scenario1.json"
+grep -q '"discipline":"slotted"' "$WORK/scenario1.json"
+grep -q '"name":"throughput"' "$WORK/scenario1.json"
+grep -q '"cached":false' "$WORK/scenario1.json"
+curl -fsS -X POST -d '{"discipline":"slotted","topology":{"n1":16,"n2":16},"params":{"load":0.8}}' \
+    "$BASE/v1/scenario" >"$WORK/scenario2.json"
+grep -q '"cached":true' "$WORK/scenario2.json"
+curl -fsS -X POST -d '{"discipline":"wdm","topology":{"l":3,"w":8},"params":{"rate":4,"cross_rate":1,"mu":1}}' \
+    "$BASE/v1/scenario" >"$WORK/scenario3.json"
+grep -q '"name":"conversion_gain"' "$WORK/scenario3.json"
+# The error contract: an unknown discipline is a 422, never a 200.
+CODE="$(curl -sS -o "$WORK/scenario4.json" -w '%{http_code}' -X POST -d '{"discipline":"quantum"}' "$BASE/v1/scenario")"
+if [ "$CODE" != "422" ]; then
+    echo "smoke: unknown discipline returned HTTP $CODE, want 422" >&2
+    exit 1
+fi
+echo "smoke: /v1/scenario ok"
+
 curl -fsS "$BASE/metrics" >"$WORK/metrics.json"
 grep -q '"misses":1' "$WORK/metrics.json"
 grep -q '"requests":2' "$WORK/metrics.json"
+grep -q '"scenario_cache":{"hits":1,"misses":2' "$WORK/metrics.json"
 echo "smoke: /metrics ok"
 
 kill -TERM "$PID"
