@@ -4,14 +4,14 @@
 GO ?= go
 # Sequence number of the BENCH_<n>.json trajectory point `make bench`
 # writes (docs/PERFORMANCE.md); bump per PR.
-BENCH_N ?= 8
+BENCH_N ?= 10
 # Total-coverage floor `make cover` enforces (docs/PERFORMANCE.md
 # records how it was set; CI's coverage job gates on it).
 COVER_MIN ?= 86.5
 # Per-target budget of `make fuzz-short` (CI's fuzz-short job).
 FUZZTIME ?= 60s
 
-.PHONY: all help build vet lint test test-race test-short cover bench bench-short profile serve smoke sim-validate conformance fuzz-short experiments experiments-quick examples clean
+.PHONY: all help build vet lint test test-race test-short cover bench bench-short profile serve smoke cluster-smoke sim-validate conformance fuzz-short experiments experiments-quick examples clean
 
 all: build vet lint test
 
@@ -31,6 +31,8 @@ help:
 	@echo "  profile      CPU-profile the N=256 lattice fill and print the hot functions"
 	@echo "  serve        run the xbard HTTP daemon (API :8480, pprof 127.0.0.1:8481)"
 	@echo "  smoke        xbard end-to-end smoke test (scripts/smoke.sh; CI's smoke job)"
+	@echo "  cluster-smoke 3-node sharded-cluster smoke test: forwarding, single fleet"
+	@echo "               fill, owner-kill failover (scripts/cluster-smoke.sh; CI job)"
 	@echo "  sim-validate farm-vs-analytic 3-sigma sweep (scripts/simvalidate.sh; CI's sim-validate job)"
 	@echo "  conformance  scenario corpus through scenario.Evaluate, bit-identical to the"
 	@echo "               legacy entry points; writes conformance-report.json (CI job)"
@@ -101,6 +103,14 @@ serve:
 smoke:
 	./scripts/smoke.sh
 
+# 3-node cluster smoke test: consistent-hash forwarding serves every
+# node's request from the key's owner with exactly one fleet-wide
+# lattice fill, killing the owner degrades to local compute, and the
+# /v1/cluster rollup lands in cluster-rollup.json (docs/CLUSTER.md;
+# CI's cluster-smoke job uploads it as an artifact).
+cluster-smoke:
+	./scripts/cluster-smoke.sh
+
 # Farm-vs-analytic validation: replication farms on representative
 # switches gated within 3 sigma of the product-form solution, with
 # fixed seeds so a failure is a regression, never a flake
@@ -141,4 +151,4 @@ examples:
 	$(GO) run ./examples/sizing
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_short.json cpu.prof xbar.test conformance-report.json
+	rm -f cover.out test_output.txt bench_output.txt bench_short.json cpu.prof xbar.test conformance-report.json cluster-rollup.json

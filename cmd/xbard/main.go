@@ -11,12 +11,20 @@
 //	      [-max-dim n] [-max-asym-dim n] \
 //	      [-max-body bytes] [-timeout d] [-drain d] [-max-concurrent n] \
 //	      [-max-grid-points n] \
+//	      [-node-id id -peers id=url,...] [-vnodes n] [-hot-replicas k] \
 //	      [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // The daemon serves until SIGTERM or SIGINT, then drains in-flight
 // requests within -drain and exits 0 on a clean shutdown. -debug-addr
 // (off by default, keep it on loopback: no auth) adds net/http/pprof
 // and a second /metrics on a separate mux.
+//
+// -peers (with -node-id naming this node's entry) turns a fleet of
+// xbard processes into one logical cache: a consistent-hash ring
+// assigns every cache key an owner and requests are forwarded to it,
+// so the fleet fills each lattice once no matter which node a client
+// hits. Without -peers the daemon is the plain single-node server.
+// See docs/CLUSTER.md.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxBody       = fs.Int64("max-body", 0, "request body cap in bytes (0 = default 1 MiB)")
 		timeout       = fs.Duration("timeout", 0, "per-request timeout (0 = default 30s)")
 		drain         = fs.Duration("drain", 0, "graceful-shutdown drain budget (0 = default 15s)")
+		nodeID        = fs.String("node-id", "", "this node's id in -peers (required with -peers)")
+		peers         = fs.String("peers", "", "cluster membership as id=url,id=url,... including this node (empty = single-node)")
+		vnodes        = fs.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default 64)")
+		hotReplicas   = fs.Int("hot-replicas", 0, "ring successors to replicate hot keys to (0 = default 1, -1 = off)")
 	)
 	prof := cli.NewProfiler(fs)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +74,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "xbard: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		fmt.Fprintln(stderr, "xbard:", err)
 		return 2
 	}
 
@@ -84,6 +103,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxBodyBytes:      *maxBody,
 		RequestTimeout:    *timeout,
 		DrainTimeout:      *drain,
+		NodeID:            *nodeID,
+		Peers:             peerMap,
+		VNodes:            *vnodes,
+		HotReplicas:       *hotReplicas,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, time.Now().Format("2006-01-02T15:04:05.000Z07:00")+" "+format+"\n", args...)
 		},
@@ -105,4 +128,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		code = 1
 	}
 	return code
+}
+
+// parsePeers parses the -peers value: comma-separated id=url pairs,
+// one per cluster member including this node. "" means single-node.
+func parsePeers(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q, want id=url", pair)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("-peers id %q given twice", id)
+		}
+		peers[id] = url
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers %q holds no id=url entries", spec)
+	}
+	return peers, nil
 }

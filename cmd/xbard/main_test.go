@@ -71,6 +71,41 @@ func TestBadFlags(t *testing.T) {
 	}
 }
 
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers(" a=http://h1:1 , b=http://h2:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "http://h1:1", "b": "http://h2:2"}
+	if len(got) != len(want) || got["a"] != want["a"] || got["b"] != want["b"] {
+		t.Fatalf("parsePeers = %v, want %v", got, want)
+	}
+	if got, err := parsePeers(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"a", "=http://h", "a=", "a=http://h,a=http://h2", ","} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBadPeerFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-peers", "nourl", "-addr", "127.0.0.1:0"}, &out, &errBuf); code != 2 {
+		t.Errorf("malformed -peers: exit %d, want 2", code)
+	}
+	errBuf.Reset()
+	// A well-formed -peers whose -node-id is not a member is a config
+	// error from server.New, not a flag error.
+	if code := run([]string{"-peers", "a=http://h", "-node-id", "zz", "-addr", "127.0.0.1:0"}, &out, &errBuf); code != 1 {
+		t.Errorf("non-member node id: exit %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "NodeID") {
+		t.Errorf("non-member node id stderr = %q", errBuf.String())
+	}
+}
+
 // TestDaemonLifecycle runs the real daemon path: port-0 listeners, a
 // solve over the wire checked against core.Solve, pprof on the debug
 // mux, then SIGTERM and a clean drain with exit code 0.

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// hotEntry is one tracked key's exponentially-weighted hit rate.
+type hotEntry struct {
+	rate     float64   // decayed hits (EWMA mass, not a frequency)
+	last     time.Time // last touch, the decay anchor
+	lastRepl time.Time // last replication fan-out for this key
+}
+
+// hotTracker ranks the keys this node owns by an exponentially decayed
+// hit count: every served request adds 1, and accumulated mass halves
+// every halfLife. A key whose decayed mass crosses the hot threshold
+// is due for replication to its ring successors (at most once per
+// replication interval).
+type hotTracker struct {
+	mu         sync.Mutex
+	halfLife   time.Duration
+	maxEntries int
+	entries    map[string]*hotEntry
+}
+
+func newHotTracker(halfLife time.Duration, maxEntries int) *hotTracker {
+	return &hotTracker{
+		halfLife:   halfLife,
+		maxEntries: maxEntries,
+		entries:    make(map[string]*hotEntry),
+	}
+}
+
+// decayed returns e's mass at time now.
+func (t *hotTracker) decayed(e *hotEntry, now time.Time) float64 {
+	dt := now.Sub(e.last)
+	if dt <= 0 {
+		return e.rate
+	}
+	return e.rate * math.Exp2(-float64(dt)/float64(t.halfLife))
+}
+
+// touch records one hit on key and returns its decayed mass after the
+// hit. New keys enter at mass 1; when the table is full, the coldest
+// entry makes room (the table tracks heat, losing a cold key is free).
+func (t *hotTracker) touch(key string, now time.Time) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok {
+		if len(t.entries) >= t.maxEntries {
+			t.evictColdestLocked(now)
+		}
+		e = &hotEntry{}
+		t.entries[key] = e
+	}
+	e.rate = t.decayed(e, now) + 1
+	e.last = now
+	return e.rate
+}
+
+// evictColdestLocked removes the entry with the least decayed mass.
+func (t *hotTracker) evictColdestLocked(now time.Time) {
+	var coldKey string
+	cold := math.Inf(1)
+	for k, e := range t.entries {
+		if m := t.decayed(e, now); m < cold {
+			cold, coldKey = m, k
+		}
+	}
+	if coldKey != "" {
+		delete(t.entries, coldKey)
+	}
+}
+
+// shouldReplicate reports whether key is hot enough to fan out to its
+// successors and, if so, stamps the replication so the next interval
+// must pass before it fans out again.
+func (t *hotTracker) shouldReplicate(key string, now time.Time, threshold float64, interval time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok || t.decayed(e, now) < threshold {
+		return false
+	}
+	if !e.lastRepl.IsZero() && now.Sub(e.lastRepl) < interval {
+		return false
+	}
+	e.lastRepl = now
+	return true
+}
+
+// tracked returns the number of keys currently tracked.
+func (t *hotTracker) tracked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// topK returns up to k tracked keys by decayed mass, hottest first
+// (diagnostics and tests; the replication decision itself is
+// threshold-based so it needs no global sort on the request path).
+func (t *hotTracker) topK(k int, now time.Time) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type km struct {
+		key  string
+		mass float64
+	}
+	all := make([]km, 0, len(t.entries))
+	for key, e := range t.entries {
+		all = append(all, km{key, t.decayed(e, now)})
+	}
+	// Full ordering (mass descending, key ascending on ties) keeps the
+	// result deterministic regardless of map iteration order.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].mass != all[j].mass { //lint:allow floatcmp equal masses fall through to the key tie-break
+			return all[i].mass > all[j].mass
+		}
+		return all[i].key < all[j].key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	keys := make([]string, k)
+	for i := 0; i < k; i++ {
+		keys[i] = all[i].key
+	}
+	return keys
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHotTrackerDecay(t *testing.T) {
+	tr := newHotTracker(time.Second, 16)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 8; i++ {
+		tr.touch("k", t0)
+	}
+	// One half-life later the mass must have halved before the +1.
+	got := tr.touch("k", t0.Add(time.Second))
+	want := 8*0.5 + 1
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mass after one half-life = %v, want %v", got, want)
+	}
+	// Far in the future the mass is back to ~1.
+	if got := tr.touch("k", t0.Add(time.Hour)); got > 1+1e-6 {
+		t.Fatalf("mass after an hour = %v, want ~1", got)
+	}
+}
+
+func TestHotTrackerReplicationGate(t *testing.T) {
+	tr := newHotTracker(time.Minute, 16)
+	t0 := time.Unix(2000, 0)
+	if tr.shouldReplicate("cold", t0, 4, time.Second) {
+		t.Fatal("untracked key reported hot")
+	}
+	for i := 0; i < 3; i++ {
+		tr.touch("k", t0)
+	}
+	if tr.shouldReplicate("k", t0, 4, time.Second) {
+		t.Fatal("mass 3 crossed threshold 4")
+	}
+	tr.touch("k", t0)
+	if !tr.shouldReplicate("k", t0, 4, time.Second) {
+		t.Fatal("mass 4 did not cross threshold 4")
+	}
+	// Inside the interval the gate holds even though the key stays hot.
+	tr.touch("k", t0)
+	if tr.shouldReplicate("k", t0.Add(500*time.Millisecond), 4, time.Second) {
+		t.Fatal("replication re-fired inside the interval")
+	}
+	if !tr.shouldReplicate("k", t0.Add(2*time.Second), 4, time.Second) {
+		t.Fatal("replication did not re-fire after the interval")
+	}
+}
+
+func TestHotTrackerEvictsColdest(t *testing.T) {
+	tr := newHotTracker(time.Minute, 3)
+	t0 := time.Unix(3000, 0)
+	tr.touch("hot", t0)
+	tr.touch("hot", t0)
+	tr.touch("hot", t0)
+	tr.touch("warm", t0)
+	tr.touch("warm", t0)
+	tr.touch("cold", t0)
+	tr.touch("new", t0) // must displace "cold", the least mass
+	if tr.tracked() != 3 {
+		t.Fatalf("tracked %d, want 3", tr.tracked())
+	}
+	top := tr.topK(3, t0)
+	for _, k := range top {
+		if k == "cold" {
+			t.Fatalf("coldest key survived eviction: %v", top)
+		}
+	}
+}
+
+func TestHotTrackerTopKOrder(t *testing.T) {
+	tr := newHotTracker(time.Minute, 16)
+	t0 := time.Unix(4000, 0)
+	for i, key := range []string{"a", "b", "c", "d"} {
+		for j := 0; j <= i; j++ {
+			tr.touch(key, t0)
+		}
+	}
+	got := tr.topK(2, t0)
+	if len(got) != 2 || got[0] != "d" || got[1] != "c" {
+		t.Fatalf("topK = %v, want [d c]", got)
+	}
+	if n := len(tr.topK(100, t0)); n != 4 {
+		t.Fatalf("topK(100) returned %d keys, want 4", n)
+	}
+}
+
+func TestHotTrackerBounded(t *testing.T) {
+	tr := newHotTracker(time.Minute, 8)
+	t0 := time.Unix(5000, 0)
+	for i := 0; i < 100; i++ {
+		tr.touch(fmt.Sprintf("k%d", i), t0.Add(time.Duration(i)*time.Millisecond))
+	}
+	if tr.tracked() > 8 {
+		t.Fatalf("tracked %d keys, cap is 8", tr.tracked())
+	}
+}

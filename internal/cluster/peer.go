@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Backoff schedule for a peer that failed at the transport level: the
+// first failure gates reconnects for reconnectBase, doubling per
+// consecutive failure up to reconnectCap. While gated, Forward fails
+// fast (the caller falls over to local compute) instead of paying a
+// dial timeout per request.
+const (
+	reconnectBase = 250 * time.Millisecond
+	reconnectCap  = 15 * time.Second
+)
+
+// Peer is one remote cluster member: its base URL, the shared HTTP
+// client, and its health state. Health is request-driven — there is no
+// prober goroutine; the first request after the backoff window expires
+// is the reconnect probe.
+type Peer struct {
+	id      string
+	baseURL string
+	client  *http.Client
+
+	mu        sync.Mutex
+	fails     int       // consecutive transport failures
+	downUntil time.Time // zero when healthy
+}
+
+// newTransport builds the persistent connection pool every peer
+// shares: long-lived keep-alive connections, bounded idle pool.
+func newTransport() *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   2 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
+// healthy reports whether the peer is currently forwardable: either it
+// has no recorded failure, or its backoff window has expired (in which
+// case the next request doubles as the reconnect probe).
+func (p *Peer) healthy(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.downUntil.IsZero() || !now.Before(p.downUntil)
+}
+
+// reportSuccess clears the failure state after a completed exchange.
+func (p *Peer) reportSuccess() {
+	p.mu.Lock()
+	p.fails = 0
+	p.downUntil = time.Time{}
+	p.mu.Unlock()
+}
+
+// reportFailure records a transport-level failure and extends the
+// backoff gate exponentially.
+func (p *Peer) reportFailure(now time.Time) {
+	p.mu.Lock()
+	p.fails++
+	backoff := reconnectBase << min(p.fails-1, 10)
+	if backoff > reconnectCap {
+		backoff = reconnectCap
+	}
+	p.downUntil = now.Add(backoff)
+	p.mu.Unlock()
+}
+
+// down reports whether the peer is inside its backoff window.
+func (p *Peer) down(now time.Time) bool { return !p.healthy(now) }

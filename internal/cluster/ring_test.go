@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2"}, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("alg1|%dx%d|1:0x1p-3:0x0p+00:0x1p+00", i, i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q under permuted membership", key, a.Owner(key), b.Owner(key))
+		}
+		if !reflect.DeepEqual(a.Successors(key, 2), b.Successors(key, 2)) {
+			t.Fatalf("key %q: successors differ under permuted membership", key)
+		}
+	}
+}
+
+func TestRingOwnerIsMember(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(nodes, 16)
+	member := make(map[string]bool)
+	for _, n := range nodes {
+		member[n] = true
+	}
+	for i := 0; i < 500; i++ {
+		if o := r.Owner(fmt.Sprintf("key-%d", i)); !member[o] {
+			t.Fatalf("owner %q is not a member", o)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3"}
+	r := NewRing(nodes, 128)
+	counts := make(map[string]int)
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("model|%d", i))]++
+	}
+	// With 128 vnodes per member the load imbalance should stay well
+	// inside 2x of fair share either way.
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 || counts[n] > fair*2 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): ring too unbalanced", n, counts[n], keys, fair)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3", "n4"}, 32)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		owner := r.Owner(key)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %q: got %d successors, want 3", key, len(succ))
+		}
+		seen := map[string]bool{owner: true}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: successor %q repeats (owner %q, set %v)", key, s, owner, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingSuccessorsCappedByMembership(t *testing.T) {
+	r := NewRing([]string{"n1", "n2"}, 8)
+	if got := r.Successors("k", 5); len(got) != 1 {
+		t.Fatalf("2-node ring: %d successors, want 1", len(got))
+	}
+	if got := r.Successors("k", 0); got != nil {
+		t.Fatalf("n=0: got %v, want nil", got)
+	}
+}
+
+func TestRingSingleNode(t *testing.T) {
+	r := NewRing([]string{"solo"}, 4)
+	if o := r.Owner("anything"); o != "solo" {
+		t.Fatalf("owner %q, want solo", o)
+	}
+	if s := r.Successors("anything", 2); len(s) != 0 {
+		t.Fatalf("single-node ring has successors %v", s)
+	}
+}
+
+func TestRingDuplicateMembersCollapse(t *testing.T) {
+	a := NewRing([]string{"x", "y", "x"}, 8)
+	b := NewRing([]string{"x", "y"}, 8)
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("nodes %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("duplicate membership changed ownership of %q", k)
+		}
+	}
+}
+
+func TestRingMoreVNodesSmoothsBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	spread := func(vnodes int) int {
+		r := NewRing(nodes, vnodes)
+		counts := make(map[string]int)
+		for i := 0; i < 20000; i++ {
+			counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+		}
+		lo, hi := 1<<30, 0
+		for _, n := range nodes {
+			lo, hi = min(lo, counts[n]), max(hi, counts[n])
+		}
+		return hi - lo
+	}
+	if s1, s256 := spread(1), spread(256); s256 >= s1 {
+		t.Errorf("spread with 256 vnodes (%d) not tighter than with 1 (%d)", s256, s1)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"xbar/internal/cluster"
 	"xbar/internal/core"
 	"xbar/internal/parallel"
 )
@@ -78,6 +79,21 @@ type Config struct {
 	// MaxConcurrent bounds the solves and lattice reads in flight at
 	// once (the solver semaphore). Default runtime.GOMAXPROCS(0).
 	MaxConcurrent int
+	// NodeID names this node in a cluster; it must be a key of Peers.
+	// Ignored (may stay empty) when Peers is empty.
+	NodeID string
+	// Peers maps every cluster member's id — including this node's —
+	// to its API base URL ("http://host:port"). Empty means single-node
+	// operation: the cluster layer is disabled entirely and the server
+	// behaves bit-identically to the pre-cluster daemon.
+	Peers map[string]string
+	// VNodes is the virtual nodes per member on the consistent-hash
+	// ring. Default 64.
+	VNodes int
+	// HotReplicas is how many ring successors each owner replicates
+	// its hottest cache keys to (-1 disables replication). Default 1,
+	// capped at len(Peers)-1.
+	HotReplicas int
 	// Workers and Tile select the wavefront fill schedule passed to
 	// core.Parallel for every lattice fill. Workers = 0 divides
 	// GOMAXPROCS by MaxConcurrent so that MaxConcurrent concurrent
@@ -159,10 +175,32 @@ func (c Config) validate() error {
 	if c.MaxConcurrent < 1 {
 		return fmt.Errorf("server: MaxConcurrent %d, must be >= 1", c.MaxConcurrent)
 	}
+	if len(c.Peers) > 0 {
+		if _, ok := c.Peers[c.NodeID]; !ok {
+			return fmt.Errorf("server: NodeID %q is not a member of Peers", c.NodeID)
+		}
+	} else if c.NodeID != "" {
+		return fmt.Errorf("server: NodeID %q without Peers", c.NodeID)
+	}
+	if c.VNodes < 0 {
+		return fmt.Errorf("server: VNodes %d is negative", c.VNodes)
+	}
 	if c.Workers < 0 || c.Tile < 0 {
 		return fmt.Errorf("server: negative fill schedule (workers %d, tile %d)", c.Workers, c.Tile)
 	}
 	return nil
+}
+
+// clusterConfig derives the cluster layer's configuration; callers
+// check len(Peers) > 0 first.
+func (c Config) clusterConfig() cluster.Config {
+	return cluster.Config{
+		NodeID:      c.NodeID,
+		Peers:       c.Peers,
+		VNodes:      c.VNodes,
+		HotReplicas: c.HotReplicas,
+		Logf:        c.Logf,
+	}
 }
 
 // fillOptions is the lattice-fill schedule every solve runs with.

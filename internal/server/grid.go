@@ -148,8 +148,12 @@ type gridGroup struct {
 }
 
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) error {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req GridRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		return err
 	}
 	alg, err := normalizeAlg(req.Algorithm)
@@ -225,6 +229,19 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) error {
 	resp.Asymptotic = asymCount
 	if len(order) == 0 {
 		resp.Method = "asymptotic"
+	}
+	// Forward the whole request only when every group entry lives on
+	// one peer (maybeForward's all-same-owner rule); mixed ownership
+	// computes locally — correct, just less fleet-wide dedup.
+	if len(order) > 0 {
+		keys := make([]string, len(order))
+		for i, ck := range order {
+			g := groups[ck]
+			keys[i] = cacheKey(alg, core.Switch{N1: g.n1, N2: g.n2, Classes: g.classes})
+		}
+		if s.maybeForward(w, r, body, keys...) {
+			return nil
+		}
 	}
 	for _, ck := range order {
 		g := groups[ck]

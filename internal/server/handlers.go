@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -114,26 +113,6 @@ func normalizeAlg(a string) (string, error) {
 	return "", badRequest("algorithm %q, want alg1 or alg2", a)
 }
 
-// decode reads one JSON request body with the server's strictness:
-// size-capped, unknown fields rejected, trailing data rejected.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return &apiError{code: http.StatusRequestEntityTooLarge,
-				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
-		}
-		return badRequest("invalid JSON: %v", err)
-	}
-	if dec.More() {
-		return badRequest("trailing data after JSON body")
-	}
-	return nil
-}
-
 // ClassResult is one class's measures in a response, in request class
 // order. Names are echoed from the request, not the cache: cache keys
 // canonicalize names away.
@@ -199,8 +178,12 @@ type BlockingResponse struct {
 }
 
 func (s *Server) handleBlocking(w http.ResponseWriter, r *http.Request) error {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req BlockingRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		return err
 	}
 	alg, err := normalizeAlg(req.Algorithm)
@@ -226,6 +209,9 @@ func (s *Server) handleBlocking(w http.ResponseWriter, r *http.Request) error {
 			Utilization: res.Utilization(),
 			Classes:     classResults(req.SwitchSpec, res),
 		})
+		return nil
+	}
+	if s.maybeForward(w, r, body, cacheKey(alg, sw)) {
 		return nil
 	}
 	e, cached, err := s.withEntry(r, alg, sw)
@@ -292,8 +278,12 @@ type RevenueResponse struct {
 }
 
 func (s *Server) handleRevenue(w http.ResponseWriter, r *http.Request) error {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req RevenueRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		return err
 	}
 	opt, err := s.parseDispatch(req.DispatchSpec)
@@ -327,6 +317,9 @@ func (s *Server) handleRevenue(w http.ResponseWriter, r *http.Request) error {
 			return err
 		}
 		s.writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
+	if s.maybeForward(w, r, body, cacheKey(alg1, sw)) {
 		return nil
 	}
 	// Revenue rides the Algorithm 1 cache: the analysis's in-lattice
@@ -401,8 +394,12 @@ type AdmissionResponse struct {
 }
 
 func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) error {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req AdmissionRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		return err
 	}
 	opt, err := s.parseDispatch(req.DispatchSpec)
@@ -441,6 +438,9 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) error {
 				Accept: req.Weights[req.Class] > shadow, Policy: "profitability", Class: req.Class,
 				Tier: core.TierAsymptotic, Weight: &req.Weights[req.Class], ShadowCost: &shadow,
 			})
+			return nil
+		}
+		if s.maybeForward(w, r, body, cacheKey(alg1, sw)) {
 			return nil
 		}
 		e, cached, err := s.withEntry(r, alg1, sw)
@@ -548,8 +548,12 @@ type SweepResponse struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		return err
+	}
 	var req SweepRequest
-	if err := s.decode(w, r, &req); err != nil {
+	if err := decodeBytes(body, &req); err != nil {
 		return err
 	}
 	alg, err := normalizeAlg(req.Algorithm)
@@ -620,6 +624,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 			return nil
 		}
 		entrySw = core.Switch{N1: emax1, N2: emax2, Classes: sw.Classes}
+	}
+	if s.maybeForward(w, r, body, cacheKey(alg, entrySw)) {
+		return nil
 	}
 	e, cached, err := s.withEntry(r, alg, entrySw)
 	if err != nil {
@@ -706,6 +713,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	s.writeJSON(w, http.StatusOK, s.metricsSnapshot())
 	return nil
 }

@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"xbar/internal/cluster"
 )
 
 // latencyBucketsNs are the histogram upper bounds, in nanoseconds:
@@ -113,12 +115,15 @@ type ScenarioCacheSnapshot struct {
 	Evictions      int64 `json:"evictions"`
 }
 
-// Snapshot is the GET /metrics document.
+// Snapshot is the GET /metrics document. Cluster is present only when
+// clustering is enabled, so the single-node document stays
+// bit-identical to the pre-cluster daemon's.
 type Snapshot struct {
 	InFlight      int64                       `json:"in_flight"`
 	WriteFailures int64                       `json:"write_failures"`
 	Cache         CacheSnapshot               `json:"cache"`
 	ScenarioCache ScenarioCacheSnapshot       `json:"scenario_cache"`
+	Cluster       *cluster.Snapshot           `json:"cluster,omitempty"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 }
 

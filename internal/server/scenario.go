@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"errors"
@@ -166,18 +167,19 @@ func (s *Server) scenarioError(w http.ResponseWriter, err error) error {
 }
 
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	spec, err := scenario.Decode(r.Body)
+	body, err := s.readBody(w, r)
 	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return &apiError{code: http.StatusRequestEntityTooLarge,
-				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
-		}
+		return err
+	}
+	spec, err := scenario.Decode(bytes.NewReader(body))
+	if err != nil {
 		return badRequest("invalid JSON: %v", err)
 	}
 	if err := spec.Validate(s.cfg.scenarioLimits()); err != nil {
 		return s.scenarioError(w, err)
+	}
+	if s.maybeForward(w, r, body, spec.Key()) {
+		return nil
 	}
 
 	// The cache stores one full measure set per canonical key (the key

@@ -8,8 +8,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
+	"xbar/internal/cluster"
 	"xbar/internal/grid"
 	"xbar/internal/scenario"
 )
@@ -25,8 +27,16 @@ type Server struct {
 	cache    *solverCache
 	scenario *scenario.Engine
 	scCache  *scenarioCache
+	cluster  *cluster.Cluster // nil when cfg.Peers is empty
 	sem      chan struct{}
 	now      func() time.Time
+
+	// ready flips once ring membership is initialized (end of New);
+	// draining flips when shutdown begins. GET /readyz serves 200 only
+	// while ready && !draining, so peers and load balancers stop
+	// routing to a node before its listener goes away.
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	mux      *http.ServeMux
 	debugMux *http.ServeMux
@@ -40,7 +50,8 @@ type Server struct {
 // endpointNames are the instrumented endpoints, as they appear in the
 // metrics document.
 var endpointNames = []string{
-	"/v1/blocking", "/v1/revenue", "/v1/admission", "/v1/sweep", "/v1/grid", "/v1/scenario", "/healthz", "/metrics",
+	"/v1/blocking", "/v1/revenue", "/v1/admission", "/v1/sweep", "/v1/grid", "/v1/scenario", "/v1/cluster",
+	"/healthz", "/readyz", "/metrics",
 }
 
 // New builds a Server from cfg (zero fields take their documented
@@ -67,6 +78,13 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		now:     time.Now, //lint:allow detrand wall-clock latency metrics; the analytical engine itself stays clock-free
 	}
+	if len(cfg.Peers) > 0 {
+		cl, err := cluster.New(cfg.clusterConfig())
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/blocking", s.instrument("/v1/blocking", s.handleBlocking))
 	s.mux.Handle("POST /v1/revenue", s.instrument("/v1/revenue", s.handleRevenue))
@@ -74,7 +92,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.Handle("POST /v1/grid", s.instrument("/v1/grid", s.handleGrid))
 	s.mux.Handle("POST /v1/scenario", s.instrument("/v1/scenario", s.handleScenario))
+	s.mux.Handle("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 
 	s.debugMux = http.NewServeMux()
@@ -84,6 +104,9 @@ func New(cfg Config) (*Server, error) {
 	s.debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.debugMux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	// Ring membership (when any) is initialized above; the node is ready
+	// to take traffic as soon as a listener exists.
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -132,6 +155,12 @@ func (s *Server) instrument(name string, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
 		s.metrics.inFlight.Add(1)
+		if s.cluster != nil {
+			// Which node actually served — cluster tooling reads this to
+			// find a key's owner. Absent in single-node mode so responses
+			// stay bit-identical to the pre-cluster daemon.
+			w.Header().Set(cluster.HeaderNode, s.cluster.NodeID())
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
@@ -183,13 +212,22 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// UseListener hands the server a pre-bound API listener; Start then
+// skips binding cfg.Addr. Cluster tests need this: peer URLs must be
+// known (so ports bound) before the servers are constructed.
+func (s *Server) UseListener(ln net.Listener) { s.ln = ln }
+
 // Start binds the listeners (API, and debug when configured) without
 // serving yet, so callers learn the bound addresses — and tests can
 // listen on port 0 — before traffic arrives.
 func (s *Server) Start() error {
-	ln, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	ln := s.ln
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+		}
 	}
 	s.ln = ln
 	s.httpSrv = &http.Server{
@@ -249,8 +287,11 @@ func (s *Server) Serve() error {
 }
 
 // Shutdown drains both servers gracefully: no new connections,
-// in-flight requests run to completion within ctx.
+// in-flight requests run to completion within ctx. /readyz flips to
+// 503 first, so ready-checking peers and balancers stop routing here
+// while the drain runs.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	var errs []error
 	if s.httpSrv != nil {
 		errs = append(errs, s.httpSrv.Shutdown(ctx))
@@ -258,7 +299,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.debugSrv != nil {
 		errs = append(errs, s.debugSrv.Shutdown(ctx))
 	}
+	s.Close()
 	return errors.Join(errs...)
+}
+
+// Close releases background resources (the cluster replication
+// worker). Shutdown calls it; handler-only callers (tests serving
+// s.Handler() directly) should call it themselves when done. Safe to
+// call more than once and without a cluster.
+func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 }
 
 // Run is the daemon loop: Start (unless already started), serve until

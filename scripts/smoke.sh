@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the xbard daemon (`make smoke`, CI's smoke
-# job): build it, start it, hit /healthz, check /v1/blocking against
-# the committed results/figure1.csv value to 1e-9, run two scenario
-# specs through /v1/scenario (plus its 422 contract), scrape /metrics,
-# then SIGTERM and require a clean drain with exit code 0.
+# job): build it, start it, wait for readiness on /readyz (bounded by
+# a deadline), hit /healthz, check /v1/blocking against the committed
+# results/figure1.csv value to 1e-9, run two scenario specs through
+# /v1/scenario (plus its 422 contract), scrape /metrics, then SIGTERM
+# and require a clean drain with exit code 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,9 +19,13 @@ go build -o "$WORK/xbard" ./cmd/xbard
 "$WORK/xbard" -addr "127.0.0.1:$PORT" -drain 10s 2>"$WORK/xbard.log" &
 PID=$!
 
+# Readiness gate: poll /readyz (not /healthz — a live node may not be
+# ready yet) under a hard deadline.
+READY_DEADLINE_S="${XBARD_READY_DEADLINE_S:-15}"
+DEADLINE=$(( $(date +%s) + READY_DEADLINE_S ))
 ok=
-for _ in $(seq 1 100); do
-    if curl -fsS "$BASE/healthz" >"$WORK/healthz.json" 2>/dev/null; then
+while [ "$(date +%s)" -lt "$DEADLINE" ]; do
+    if curl -fsS "$BASE/readyz" >"$WORK/readyz.json" 2>/dev/null; then
         ok=1
         break
     fi
@@ -32,10 +37,14 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 if [ -z "$ok" ]; then
-    echo "smoke: xbard never answered /healthz; log:" >&2
+    echo "smoke: xbard not ready on /readyz within ${READY_DEADLINE_S}s; log:" >&2
     cat "$WORK/xbard.log" >&2
     exit 1
 fi
+grep -q '"status":"ready"' "$WORK/readyz.json"
+echo "smoke: /readyz ready"
+
+curl -fsS "$BASE/healthz" >"$WORK/healthz.json"
 grep -q '"status":"ok"' "$WORK/healthz.json"
 echo "smoke: /healthz ok"
 
